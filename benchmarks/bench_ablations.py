@@ -1,0 +1,123 @@
+"""Ablations on Fifer's design choices (beyond the paper's figures).
+
+Each bench isolates one decision the paper motivates: proportional vs
+equal slack division, LSF vs FIFO on shared stages, the predictor
+driving proactive scaling, pack vs spread placement, SLO sensitivity,
+and the Knative-style HPA baseline of section 2.2.1.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.experiments import format_table
+from repro.experiments.ablations import (
+    hpa_comparison,
+    placement_ablation,
+    predictor_ablation,
+    scheduling_ablation,
+    slack_division_ablation,
+    slo_sensitivity,
+)
+
+
+def _rows(results):
+    return [
+        (
+            key,
+            r.slo_violation_rate,
+            r.avg_containers,
+            r.cold_starts,
+            r.median_latency_ms,
+            r.p99_latency_ms,
+            r.energy_joules / 1e3,
+        )
+        for key, r in results.items()
+    ]
+
+
+HEADERS = ["variant", "SLO viol", "avg containers", "cold starts",
+           "median(ms)", "P99(ms)", "energy(kJ)"]
+
+
+def test_ablation_slack_division(benchmark, emit):
+    results = once(benchmark, slack_division_ablation)
+    emit("ablation_slack_division", format_table(
+        HEADERS, _rows(results),
+        title="Ablation: RScale with proportional vs equal slack division",
+    ))
+    # Both remain SLO-feasible; proportional must not lose to equal
+    # on container efficiency (the GrandSLAm observation).
+    prop, equal = results["proportional"], results["equal"]
+    assert prop.avg_containers <= equal.avg_containers * 1.3
+
+
+def test_ablation_scheduling(benchmark, emit):
+    results = once(benchmark, scheduling_ablation)
+    emit("ablation_scheduling", format_table(
+        HEADERS, _rows(results),
+        title="Ablation: Fifer with LSF vs FIFO on the shared-stage "
+              "medium mix",
+    ))
+    lsf, fifo = results["lsf"], results["fifo"]
+    # LSF never violates more than FIFO on shared stages.
+    assert lsf.slo_violation_rate <= fifo.slo_violation_rate + 0.02
+
+
+def test_ablation_predictor_swap(benchmark, emit):
+    results = once(benchmark, predictor_ablation)
+    emit("ablation_predictor", format_table(
+        HEADERS, _rows(results),
+        title="Ablation: Fifer driven by different forecasters",
+    ))
+    # Every forecaster keeps the system functional and batched.
+    for r in results.values():
+        assert r.n_completed == r.n_jobs
+        assert r.slo_violation_rate < 0.25
+
+
+def test_ablation_placement(benchmark, emit):
+    results = once(benchmark, placement_ablation)
+    emit("ablation_placement", format_table(
+        HEADERS, _rows(results),
+        title="Ablation: Fifer with pack vs spread node placement",
+    ))
+    # Consolidation is the energy mechanism: pack <= spread energy.
+    assert results["pack"].energy_joules <= results["spread"].energy_joules
+    # Placement does not change SLO compliance materially.
+    assert abs(
+        results["pack"].slo_violation_rate
+        - results["spread"].slo_violation_rate
+    ) < 0.05
+
+
+def test_ablation_slo_sensitivity(benchmark, emit):
+    results = once(benchmark, slo_sensitivity)
+    rows = [
+        (f"SLO {slo:.0f} ms", r.slo_violation_rate, r.avg_containers,
+         r.median_latency_ms, r.p99_latency_ms)
+        for slo, r in sorted(results.items())
+    ]
+    emit("ablation_slo", format_table(
+        ["variant", "viol rate", "avg containers", "median(ms)", "P99(ms)"],
+        rows,
+        title="Ablation: Fifer under tightening SLOs (heavy mix)",
+    ))
+    slos = sorted(results)
+    # Looser SLOs allow bigger batches -> no more containers needed.
+    assert results[slos[-1]].avg_containers <= results[slos[0]].avg_containers * 1.5
+    # The loosest SLO is essentially violation-free.
+    assert results[slos[-1]].slo_violation_rate < 0.05
+
+
+def test_ablation_hpa_baseline(benchmark, emit):
+    results = once(benchmark, hpa_comparison)
+    emit("ablation_hpa", format_table(
+        HEADERS, _rows(results),
+        title="Extension: Knative-style HPA baseline vs Fifer "
+              "(section 2.2.1's execution-time-agnostic autoscaler)",
+    ))
+    hpa, fifer = results["hpa"], results["fifer"]
+    # The app-agnostic autoscaler violates more: it queues requests with
+    # no notion of slack and scales only after concurrency builds.
+    assert fifer.slo_violation_rate <= hpa.slo_violation_rate
+    assert fifer.cold_starts <= hpa.cold_starts

@@ -1,0 +1,27 @@
+"""Figure 2 — cold vs warm start latency per pre-trained MXNet model.
+
+Paper shape: cold starts add roughly 2000-7500 ms over execution time,
+growing with model size; warm totals stay within ~1500 ms except for
+the largest models.
+"""
+
+from conftest import once
+
+from repro.experiments import figure2_rows, format_table
+
+
+def test_fig02_cold_vs_warm_start(benchmark, emit):
+    rows = once(benchmark, lambda: figure2_rows(warm_samples=100, seed=0))
+    table = format_table(
+        ["model", "cold exec(ms)", "cold RTT(ms)", "warm exec(ms)",
+         "warm RTT(ms)", "cold-warm gap(ms)"],
+        rows,
+        title="Figure 2: cold vs warm start per model (100 warm samples)",
+    )
+    emit("fig02_coldstart", table)
+    gaps = {r[0]: r[5] for r in rows}
+    # Paper shape: multi-second cold-start penalty, larger for big models.
+    assert all(gap > 1000.0 for gap in gaps.values())
+    assert gaps["Resnet-200"] > gaps["Squeezenet"] * 3
+    # Warm totals stay in the low seconds (Figure 2b).
+    assert all(r[4] < 3500.0 for r in rows)

@@ -1,0 +1,38 @@
+"""Figure 3 — microservice-chain characterisation.
+
+(a) Per-stage execution breakdown: stage-1 of Detect-Fatigue (HS)
+    dominates with ~81% of total execution time.
+(b) Exec-time variation over 100 runs at fixed input stays within a
+    20 ms standard deviation.
+"""
+
+from conftest import once
+
+from repro.experiments import figure3a_rows, figure3b_rows, format_table
+
+
+def test_fig03a_stage_breakdown(benchmark, emit):
+    rows = once(benchmark, figure3a_rows)
+    table = format_table(
+        ["application", "stage", "exec(ms)", "share"],
+        rows,
+        title="Figure 3a: per-stage execution-time breakdown",
+    )
+    emit("fig03a_stage_breakdown", table)
+    shares = {(r[0], r[1]): r[3] for r in rows}
+    assert shares[("detect-fatigue", "HS")] > 0.70
+    # Every chain's shares sum to 1.
+    for app in {r[0] for r in rows}:
+        assert abs(sum(v for (a, _), v in shares.items() if a == app) - 1.0) < 1e-9
+
+
+def test_fig03b_exec_variation(benchmark, emit):
+    rows = once(benchmark, lambda: figure3b_rows(runs=100, seed=0))
+    table = format_table(
+        ["microservice", "mean(ms)", "std(ms)"],
+        rows,
+        title="Figure 3b: execution-time variation over 100 runs",
+    )
+    emit("fig03b_exec_variation", table)
+    # Paper claim: std-dev within 20 ms for every microservice.
+    assert all(r[2] < 20.0 for r in rows)

@@ -1,0 +1,55 @@
+"""Figure 8 — prototype: SLO violations and containers spawned vs Bline.
+
+Paper shape (normalised to Bline): SBatch spawns the fewest containers
+but pays ~15% more SLO violations than Fifer; Bline and BPred
+over-provision (BPred ~20% fewer containers than Bline); Fifer gets the
+best of both worlds — close to SBatch's container count at Bline-level
+SLO compliance.
+"""
+
+from conftest import once
+
+from repro.experiments import format_table, normalize
+from repro.experiments.prototype import PROTOTYPE_POLICIES, cached_prototype
+
+
+def _grid():
+    return {mix: cached_prototype(mix) for mix in ("heavy", "medium", "light")}
+
+
+def test_fig08_slo_and_containers(benchmark, emit):
+    grid = once(benchmark, _grid)
+    rows = []
+    for mix, results in grid.items():
+        containers = normalize(
+            {p: r.avg_containers for p, r in results.items()}, "bline"
+        )
+        for policy in PROTOTYPE_POLICIES:
+            r = results[policy]
+            rows.append(
+                (mix, policy, r.slo_violation_rate, r.avg_containers,
+                 containers[policy], r.cold_starts)
+            )
+    table = format_table(
+        ["mix", "policy", "SLO viol rate", "avg containers",
+         "containers/Bline", "cold starts"],
+        rows,
+        title="Figure 8: prototype SLO violations and container counts "
+              "(step-Poisson λ=50, 80-core cluster)",
+    )
+    emit("fig08_prototype", table)
+
+    for mix, results in grid.items():
+        # Batching RMs spawn far fewer containers than the baseline.
+        assert results["fifer"].avg_containers < 0.5 * results["bline"].avg_containers
+        assert results["rscale"].avg_containers < 0.5 * results["bline"].avg_containers
+        # SBatch never scales.
+        assert results["sbatch"].cold_starts == 0
+        # Fifer stays SLO-compliant: violations at (or below) Bline level
+        # plus a small tolerance, and never worse than SBatch.
+        assert results["fifer"].slo_violation_rate <= (
+            results["bline"].slo_violation_rate + 0.02
+        )
+        assert results["fifer"].slo_violation_rate <= (
+            results["sbatch"].slo_violation_rate + 0.02
+        )

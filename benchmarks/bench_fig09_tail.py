@@ -1,0 +1,41 @@
+"""Figure 9 — P99 tail-latency breakdown for the heavy workload mix.
+
+Paper shape: the batching policies pay their tail in queuing
+(RScale/SBatch up to ~3x Bline's P99); Fifer's proactive provisioning
+keeps cold-start-induced tail delay well below RScale's, landing around
+2x Bline; Bline/BPred tails carry a cold-start component instead of a
+queuing component.
+"""
+
+from conftest import once
+
+from repro.experiments import format_table
+from repro.experiments.prototype import cached_prototype
+
+
+def test_fig09_p99_breakdown(benchmark, emit):
+    results = once(benchmark, lambda: cached_prototype("heavy"))
+    rows = []
+    for policy, result in results.items():
+        breakdown = result.p99_breakdown()
+        rows.append(
+            (policy, result.p99_latency_ms, breakdown["queuing"],
+             breakdown["cold_start"], breakdown["exec_time"])
+        )
+    table = format_table(
+        ["policy", "P99(ms)", "queuing(ms)", "cold_start(ms)", "exec(ms)"],
+        rows,
+        title="Figure 9: P99 tail latency breakdown, heavy mix "
+              "(components averaged over the slowest 1% of jobs)",
+    )
+    emit("fig09_tail", table)
+
+    # Batching policies' tails are queuing-dominated.
+    for policy in ("sbatch", "rscale", "fifer"):
+        b = results[policy].p99_breakdown()
+        assert b["queuing"] > b["exec_time"] * 0.5 or results[policy].p99_latency_ms < 1000
+    # Fifer's cold-start tail component stays below RScale's.
+    assert (
+        results["fifer"].p99_breakdown()["cold_start"]
+        <= results["rscale"].p99_breakdown()["cold_start"] + 1.0
+    )

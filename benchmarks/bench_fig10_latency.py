@@ -1,0 +1,55 @@
+"""Figure 10 — latency CDF (to P95) and queuing-time distribution.
+
+Paper shape: batching raises the median response latency (requests ride
+container queues by design) yet 99% of Fifer's requests still complete
+within the SLO; Fifer's median queuing sits in the ~50-400 ms band that
+slack affords, while RScale queues longer (reactive cold starts).
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.experiments import format_table
+from repro.experiments.prototype import cached_prototype
+from repro.metrics.stats import percentile
+
+
+def test_fig10a_latency_cdf(benchmark, emit):
+    results = once(benchmark, lambda: cached_prototype("heavy"))
+    quantiles = [10, 25, 50, 75, 90, 95]
+    rows = []
+    for policy, result in results.items():
+        rows.append(
+            (policy, *(percentile(result.latencies_ms, q) for q in quantiles))
+        )
+    table = format_table(
+        ["policy", *(f"P{q}(ms)" for q in quantiles)],
+        rows,
+        title="Figure 10a: response-latency distribution up to P95, heavy mix",
+    )
+    emit("fig10a_latency_cdf", table)
+
+    # Batching raises the median relative to the non-batching baseline.
+    assert results["fifer"].median_latency_ms > results["bline"].median_latency_ms
+    assert results["rscale"].median_latency_ms > results["bline"].median_latency_ms
+    # 95%+ of Fifer's requests complete within the 1000 ms SLO.
+    assert percentile(results["fifer"].latencies_ms, 95) <= 1000.0
+
+
+def test_fig10b_queuing_distribution(benchmark, emit):
+    results = once(benchmark, lambda: cached_prototype("heavy"))
+    rows = []
+    for policy, result in results.items():
+        q = result.queue_ms
+        rows.append(
+            (policy, float(np.median(q)), percentile(q, 90), percentile(q, 99))
+        )
+    table = format_table(
+        ["policy", "median queue(ms)", "P90 queue(ms)", "P99 queue(ms)"],
+        rows,
+        title="Figure 10b: per-job total queuing time distribution, heavy mix",
+    )
+    emit("fig10b_queuing", table)
+
+    # Batching policies queue more than the spawn-per-request baseline.
+    assert np.median(results["fifer"].queue_ms) > np.median(results["bline"].queue_ms)

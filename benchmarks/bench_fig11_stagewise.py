@@ -1,0 +1,45 @@
+"""Figure 11 — stage-wise container distribution for the IPA chain.
+
+Paper shape: Bline/BPred concentrate containers on the bottleneck stage
+(ASR, the longest-running), while Fifer's proportional slack allocation
+plus stage-aware scaling spreads capacity more evenly — the short NLP
+stage holds the smallest share everywhere.
+"""
+
+from conftest import once
+
+from repro.experiments import format_table
+from repro.experiments.prototype import cached_prototype
+
+IPA_STAGES = ("ASR", "NLP", "QA")
+
+
+def test_fig11_stage_distribution(benchmark, emit):
+    results = once(benchmark, lambda: cached_prototype("heavy"))
+    rows = []
+    shares = {}
+    for policy, result in results.items():
+        dist = result.stage_container_distribution()
+        ipa = {s: dist.get(s, 0.0) for s in IPA_STAGES}
+        total = sum(ipa.values())
+        if total > 0:
+            ipa = {s: v / total for s, v in ipa.items()}
+        shares[policy] = ipa
+        rows.append((policy, *(ipa[s] for s in IPA_STAGES)))
+    table = format_table(
+        ["policy", "ASR share", "NLP share", "QA share"],
+        rows,
+        title="Figure 11: container distribution across IPA stages "
+              "(shares of the three IPA pools, heavy mix)",
+    )
+    emit("fig11_stagewise", table)
+
+    for policy, ipa in shares.items():
+        # The sub-millisecond NLP stage never dominates.
+        assert ipa["NLP"] <= max(ipa["ASR"], ipa["QA"]) + 1e-9, policy
+    # Non-batching policies concentrate containers on the long stages.
+    # (Note: by Table 3 QA at 56.1 ms slightly exceeds ASR at 46.1 ms, so
+    # either may lead; the paper's prose calls ASR the bottleneck but its
+    # own Table 3 puts QA first.)
+    long_stage_share = shares["bline"]["ASR"] + shares["bline"]["QA"]
+    assert long_stage_share > 2.5 * shares["bline"]["NLP"]

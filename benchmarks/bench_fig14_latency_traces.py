@@ -1,0 +1,50 @@
+"""Figure 14 — median and tail latency on the Wiki and WITS traces.
+
+Paper shape: medians follow the prototype's trend (batching raises
+them); tails are highest for the purely reactive batching policies
+(RScale) and the static pool (SBatch) during flash crowds, while Fifer
+cuts tail latency by a large factor (paper: up to 66% vs SBatch/RScale).
+"""
+
+from conftest import once
+
+from repro.experiments import format_table
+from repro.experiments.simulation import cached_trace_simulation
+
+
+def _both(mixes=("heavy", "medium", "light")):
+    return {
+        kind: {mix: cached_trace_simulation(kind, mix) for mix in mixes}
+        for kind in ("wiki", "wits")
+    }
+
+
+def test_fig14_median_and_tail(benchmark, emit):
+    grid = once(benchmark, _both)
+    rows = []
+    for kind, mixes in grid.items():
+        for mix, results in mixes.items():
+            for policy, result in results.items():
+                rows.append(
+                    (kind, mix, policy, result.median_latency_ms,
+                     result.p99_latency_ms)
+                )
+    table = format_table(
+        ["trace", "mix", "policy", "median(ms)", "P99 tail(ms)"],
+        rows,
+        title="Figure 14: median and tail latency on Wiki/WITS traces",
+    )
+    emit("fig14_latency_traces", table)
+
+    for kind, mixes in grid.items():
+        for mix, results in mixes.items():
+            # Batching raises the median over the non-batching baseline.
+            assert (
+                results["fifer"].median_latency_ms
+                >= results["bline"].median_latency_ms * 0.8
+            )
+            # Fifer's tail beats the reactive batching policy's.
+            assert (
+                results["fifer"].p99_latency_ms
+                <= results["rscale"].p99_latency_ms + 1.0
+            )

@@ -1,0 +1,35 @@
+"""Figure 15 — cluster-wide energy consumption normalised to Bline.
+
+Paper shape: Fifer consumes ~31% less energy than Bline (consolidation
+leaves non-active nodes at idle power), ~17% less than RScale, and lands
+within ~4% of the static SBatch pool while still scaling on demand.
+"""
+
+from conftest import once
+
+from repro.experiments import format_table, normalize
+from repro.experiments.prototype import cached_prototype
+
+
+def test_fig15_energy(benchmark, emit):
+    results = once(benchmark, lambda: cached_prototype("heavy"))
+    energy = {p: r.energy_joules for p, r in results.items()}
+    norm = normalize(energy, "bline")
+    rows = [
+        (p, energy[p] / 1e3, norm[p], results[p].mean_power_w,
+         results[p].mean_active_nodes)
+        for p in results
+    ]
+    table = format_table(
+        ["policy", "energy(kJ)", "vs Bline", "mean power(W)", "active nodes"],
+        rows,
+        title="Figure 15: cluster-wide energy, heavy mix (normalised to Bline)",
+    )
+    emit("fig15_energy", table)
+
+    # Fifer saves a substantial fraction of Bline's energy (paper: ~31%).
+    assert norm["fifer"] < 0.9
+    # ... and lands within a few percent of the static SBatch pool.
+    assert abs(norm["fifer"] - norm["sbatch"]) < 0.10
+    # Consolidating policies never burn more than the spreading baseline.
+    assert norm["rscale"] <= 1.0 and norm["sbatch"] <= 1.0

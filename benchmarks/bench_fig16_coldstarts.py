@@ -1,0 +1,41 @@
+"""Figure 16 — number of cold starts on the Wiki and WITS traces.
+
+Paper shape: Fifer incurs up to 7x / 3.5x fewer cold starts than BPred
+on Wiki / WITS respectively, and ~3x fewer than RScale, because its
+LSTM pre-spawns capacity before load swings; the Wiki trace causes more
+cold starts overall (its average rate is several times WITS's).
+"""
+
+from conftest import once
+
+from repro.experiments import format_table
+from repro.experiments.simulation import cached_trace_simulation
+
+
+def _both():
+    return {kind: cached_trace_simulation(kind, "heavy") for kind in ("wiki", "wits")}
+
+
+def test_fig16_cold_starts(benchmark, emit):
+    grid = once(benchmark, _both)
+    rows = []
+    for kind, results in grid.items():
+        for policy, result in results.items():
+            rows.append((kind, policy, result.cold_starts,
+                         result.failed_spawns))
+    table = format_table(
+        ["trace", "policy", "cold starts", "failed spawns"],
+        rows,
+        title="Figure 16: container cold starts on Wiki/WITS (heavy mix)",
+    )
+    emit("fig16_coldstarts", table)
+
+    for kind, results in grid.items():
+        # Proactive + batching minimises cold starts.
+        assert results["fifer"].cold_starts <= results["rscale"].cold_starts
+        assert results["fifer"].cold_starts < results["bpred"].cold_starts
+        assert results["fifer"].cold_starts < results["bline"].cold_starts
+    # The higher-rate Wiki trace triggers more baseline cold starts.
+    assert (
+        grid["wiki"]["bline"].cold_starts >= grid["wits"]["bline"].cold_starts
+    )

@@ -1,0 +1,87 @@
+"""Section 6.1.5 — system overheads of the Fifer design.
+
+Paper numbers: state-store access well within 1.25 ms average; an LSF
+scheduling decision ~0.35 ms; LSTM inference ~2.5 ms off the critical
+path; container spawn (with image pull) 2-9 s.
+"""
+
+import time
+
+import numpy as np
+from conftest import once
+
+from repro.cluster.coldstart import IMAGE_SIZES_MB, ColdStartModel
+from repro.core.scheduling import LSFQueue
+from repro.experiments import format_table
+from repro.experiments.predictors import pretrained_predictor, training_series_for
+from repro.workflow.job import Job, Task
+from repro.workflow.statestore import StateStore
+from repro.workloads import get_application
+
+
+def _statestore_latency():
+    store = StateStore(seed=0)
+    for i in range(2000):
+        store.insert("jobs", i, {"i": i})
+        store.get("jobs", i)
+    return store.mean_access_latency_ms
+
+
+def _lsf_decision_time():
+    queue = LSFQueue()
+    apps = [get_application(n) for n in ("ipa", "img", "detect-fatigue")]
+    for i in range(5000):
+        job = Job(app=apps[i % 3], arrival_ms=float(i))
+        queue.push(Task(job=job, stage_index=0, enqueue_ms=float(i)))
+    start = time.perf_counter()
+    while queue:
+        queue.pop()
+    return (time.perf_counter() - start) * 1000.0 / 5000.0
+
+
+def _lstm_inference_time():
+    predictor = pretrained_predictor("poisson")
+    series = training_series_for("poisson")[-12:]
+    start = time.perf_counter()
+    n = 200
+    for _ in range(n):
+        predictor.predict(series)
+    return (time.perf_counter() - start) * 1000.0 / n
+
+
+def _spawn_time_range():
+    model = ColdStartModel()
+    means = [model.mean_ms(fn) for fn in IMAGE_SIZES_MB]
+    return min(means), max(means)
+
+
+def test_system_overheads(benchmark, emit):
+    def run():
+        lo, hi = _spawn_time_range()
+        return {
+            "statestore": _statestore_latency(),
+            "lsf": _lsf_decision_time(),
+            "lstm": _lstm_inference_time(),
+            "spawn_lo": lo,
+            "spawn_hi": hi,
+        }
+
+    stats = once(benchmark, run)
+    rows = [
+        ("state-store access (ms avg)", stats["statestore"], "< 1.25"),
+        ("LSF scheduling decision (ms)", stats["lsf"], "~ 0.35"),
+        ("LSTM inference (ms)", stats["lstm"], "~ 2.5"),
+        ("container spawn min (ms)", stats["spawn_lo"], "2000"),
+        ("container spawn max (ms)", stats["spawn_hi"], "9000"),
+    ]
+    table = format_table(
+        ["overhead", "measured", "paper"],
+        rows,
+        title="Section 6.1.5: system overheads",
+    )
+    emit("overheads", table)
+
+    assert stats["statestore"] < 1.25
+    assert stats["lsf"] < 0.35
+    assert stats["lstm"] < 25.0  # well off the critical path
+    assert 2000.0 <= stats["spawn_lo"] <= stats["spawn_hi"] <= 9000.0

@@ -1,0 +1,46 @@
+"""Scaling study — the paper's 30x simulator-expansion claim (§5.2).
+
+"Based on the peak request arrival rate, the simulation expands to match
+up to the capacity of a 2500 core cluster (30x our prototype cluster)."
+This bench sweeps (rate, cluster) together at fixed offered load per
+core and checks that Fifer's container savings and SLO compliance hold
+at every scale — i.e. the benefits are not an artifact of the 80-core
+prototype size.
+"""
+
+from conftest import once
+
+from repro.experiments import format_table
+from repro.experiments.scaling_study import container_savings, run_scaling_study
+
+
+def test_scaling_study(benchmark, emit):
+    study = once(benchmark, lambda: run_scaling_study(
+        policies=("bline", "fifer"),
+        scales=((0.5, 25.0, 3), (1.0, 50.0, 5), (2.0, 100.0, 10)),
+        duration_s=180.0,
+        seed=5,
+    ))
+    rows = []
+    for scale, results in sorted(study.items()):
+        savings = container_savings(results)
+        rows.append((
+            f"{scale:g}x",
+            results["bline"].avg_containers,
+            results["fifer"].avg_containers,
+            f"{savings:.0%}",
+            results["fifer"].slo_violation_rate,
+        ))
+    table = format_table(
+        ["scale", "bline containers", "fifer containers",
+         "fifer saving", "fifer SLO viol"],
+        rows,
+        title="Scaling study: container savings vs cluster/rate scale "
+              "(offered load per core fixed)",
+    )
+    emit("scaling_study", table)
+
+    for scale, results in study.items():
+        assert container_savings(results) > 0.4, scale
+        assert results["fifer"].slo_violation_rate < 0.05, scale
+        assert results["fifer"].n_completed == results["fifer"].n_jobs

@@ -1,0 +1,78 @@
+"""Design-knob sensitivity sweeps (the constants the paper fixes).
+
+Section 4.2/4.5 pin the monitoring interval at 10 s and the idle timeout
+at 10 min without sensitivity analysis; the batch cap is ours.  These
+benches map each knob's operating range on the fluctuating prototype
+workload.
+"""
+
+from conftest import once
+
+from repro.experiments import format_table
+from repro.experiments.sweeps import (
+    idle_timeout_sweep,
+    max_batch_sweep,
+    monitor_interval_sweep,
+)
+from repro.traces import step_poisson_trace
+
+
+def _trace():
+    return step_poisson_trace(50.0, 180.0, variation=0.4, seed=5)
+
+
+def _rows(results, label):
+    return [
+        (f"{label}={value:g}", r.slo_violation_rate, r.avg_containers,
+         r.cold_starts, r.p99_latency_ms)
+        for value, r in sorted(results.items())
+    ]
+
+
+HEADERS = ["knob", "SLO viol", "avg containers", "cold starts", "P99(ms)"]
+
+
+def test_sweep_monitor_interval(benchmark, emit):
+    results = once(benchmark, lambda: monitor_interval_sweep(
+        intervals_ms=(5_000.0, 10_000.0, 20_000.0), trace=_trace(),
+    ))
+    emit("sweep_monitor_interval", format_table(
+        HEADERS, _rows(results, "T_ms"),
+        title="Sweep: RScale monitoring interval (paper: 10 s)",
+    ))
+    # Slower monitors can only react later: violations never improve
+    # when the interval quadruples.
+    assert (
+        results[20_000.0].slo_violation_rate
+        >= results[5_000.0].slo_violation_rate - 0.02
+    )
+
+
+def test_sweep_idle_timeout(benchmark, emit):
+    results = once(benchmark, lambda: idle_timeout_sweep(
+        timeouts_ms=(15_000.0, 60_000.0, 240_000.0), trace=_trace(),
+    ))
+    emit("sweep_idle_timeout", format_table(
+        HEADERS, _rows(results, "timeout_ms"),
+        title="Sweep: idle-container timeout (paper: 10 min)",
+    ))
+    # Longer keep-warm -> more lingering containers, fewer cold starts.
+    assert (
+        results[240_000.0].avg_containers
+        >= results[15_000.0].avg_containers - 1.0
+    )
+    assert (
+        results[240_000.0].cold_starts <= results[15_000.0].cold_starts
+    )
+
+
+def test_sweep_max_batch(benchmark, emit):
+    results = once(benchmark, lambda: max_batch_sweep(
+        caps=(1, 4, 16), trace=_trace(),
+    ))
+    emit("sweep_max_batch", format_table(
+        HEADERS, _rows(results, "B_cap"),
+        title="Sweep: batch-size cap (1 = non-batching)",
+    ))
+    # Batching is the container-count lever: cap 1 uses the most.
+    assert results[1].avg_containers >= results[16].avg_containers

@@ -1,0 +1,28 @@
+"""Table 6 — feature comparison with related frameworks.
+
+For our own implementation the feature row is *derived from the policy
+configuration* and must match the paper's all-checks column for Fifer.
+"""
+
+from conftest import once
+
+from repro.experiments import TABLE6_FEATURES, format_table, table6_rows
+from repro.experiments.features import FEATURES, fifer_features_from_code
+
+
+def test_table6_feature_matrix(benchmark, emit):
+    rows = once(benchmark, table6_rows)
+    table = format_table(
+        ["framework", *(f.split()[0] for f in FEATURES)],
+        rows,
+        title="Table 6: feature comparison (columns abbreviated)",
+    )
+    emit("table6_features", table)
+
+    derived = fifer_features_from_code()
+    assert derived == TABLE6_FEATURES["Fifer"]
+    assert all(derived.values()), "Fifer must implement every Table 6 feature"
+    # Fifer is the only framework with every feature.
+    for name, feats in TABLE6_FEATURES.items():
+        if name != "Fifer":
+            assert not all(feats.values()), name

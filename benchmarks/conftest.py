@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper table/figure, prints the rows and
+persists them under ``benchmarks/results/`` so the output survives
+pytest's stdout capture; EXPERIMENTS.md records the paper-vs-measured
+comparison for each.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """emit(name, text): print and persist one bench's result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

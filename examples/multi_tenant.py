@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Multi-tenant serverless cluster: per-tenant policies, shared iron.
+
+Section 2.1 of the paper: "In the case of multi-tenancy, our proposed
+ideas can be individually applied to each tenant" — pools stay isolated
+(footnote 4) while the physical cluster is shared. This example runs
+three tenants with different resource managers side by side and shows
+the shared-cluster accounting.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro.core.policies import make_policy_config
+from repro.experiments import format_table
+from repro.prediction.classical import EWMAPredictor
+from repro.runtime import ClusterSpec, MultiTenantSystem, TenantSpec
+from repro.traces import poisson_trace, step_poisson_trace
+from repro.workloads import get_mix
+
+
+def main() -> None:
+    tenants = [
+        TenantSpec(
+            name="vision-team",
+            config=make_policy_config("fifer", idle_timeout_ms=60_000.0),
+            mix=get_mix("light"),
+            trace=step_poisson_trace(20.0, 180.0, variation=0.4, seed=1),
+            predictor=EWMAPredictor(),  # Fifer with a cheap forecaster
+            seed=1,
+        ),
+        TenantSpec(
+            name="assistant-team",
+            config=make_policy_config("rscale", idle_timeout_ms=60_000.0),
+            mix=get_mix("medium"),
+            trace=poisson_trace(15.0, 180.0, seed=2),
+            seed=2,
+        ),
+        TenantSpec(
+            name="legacy-team",
+            config=make_policy_config("bline", idle_timeout_ms=60_000.0),
+            mix=get_mix("heavy"),
+            trace=poisson_trace(10.0, 180.0, seed=3),
+            seed=3,
+        ),
+    ]
+    system = MultiTenantSystem(tenants, cluster_spec=ClusterSpec(n_nodes=5))
+    print("running 3 tenants on a shared 80-core cluster...")
+    result = system.run()
+
+    rows = []
+    for name, r in result.tenants.items():
+        rows.append((
+            name, r.policy, r.mix, r.n_jobs,
+            f"{r.slo_violation_rate:.3%}", f"{r.avg_containers:.1f}",
+            r.cold_starts,
+        ))
+    print(format_table(
+        ["tenant", "policy", "mix", "jobs", "SLO viol",
+         "avg containers", "cold starts"],
+        rows,
+    ))
+    print(f"\nshared cluster: peak {result.peak_total_containers} containers, "
+          f"mean power {result.cluster_mean_power_w:.0f} W, "
+          f"energy {result.cluster_energy_joules / 1e3:.0f} kJ")
+    print(f"aggregate SLO violation rate: {result.total_violation_rate():.3%}")
+    print(
+        "\nEach tenant keeps its own pools (no cross-tenant container "
+        "sharing); the frugal\ntenants' consolidation leaves headroom the "
+        "bline tenant's over-provisioning eats."
+    )
+
+
+if __name__ == "__main__":
+    main()

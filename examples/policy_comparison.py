@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare all five resource managers across the three workload mixes.
+
+Reproduces the structure of the paper's prototype evaluation (Figure 8):
+Bline, SBatch, RScale, BPred and Fifer on the heavy/medium/light mixes,
+reporting SLO violations and containers normalised to the baseline.
+
+Run:  python examples/policy_comparison.py [--duration 300] [--rate 50]
+"""
+
+import argparse
+
+from repro.experiments import format_table, normalize, run_prototype
+from repro.experiments.prototype import PROTOTYPE_POLICIES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=300.0,
+                        help="trace length in seconds (default 300)")
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="average arrival rate in req/s (default 50)")
+    parser.add_argument("--mixes", nargs="+",
+                        default=["heavy", "medium", "light"],
+                        help="workload mixes to run")
+    args = parser.parse_args()
+
+    for mix in args.mixes:
+        print(f"\n=== {mix} mix ===")
+        results = run_prototype(
+            mix, mean_rate_rps=args.rate, duration_s=args.duration
+        )
+        containers = normalize(
+            {p: r.avg_containers for p, r in results.items()}, "bline"
+        )
+        energy = normalize(
+            {p: r.energy_joules for p, r in results.items()}, "bline"
+        )
+        rows = []
+        for policy in PROTOTYPE_POLICIES:
+            r = results[policy]
+            rows.append((
+                policy,
+                f"{r.slo_violation_rate:.3%}",
+                f"{r.avg_containers:.1f}",
+                f"{containers[policy]:.2f}x",
+                r.cold_starts,
+                f"{r.median_latency_ms:.0f}",
+                f"{r.p99_latency_ms:.0f}",
+                f"{energy[policy]:.2f}x",
+            ))
+        print(format_table(
+            ["policy", "SLO viol", "avg containers", "vs bline",
+             "cold starts", "median(ms)", "P99(ms)", "energy vs bline"],
+            rows,
+        ))
+
+    print(
+        "\nReading the table: SBatch never scales (fewest containers, most "
+        "violations under bursts);\nRScale batches and scales reactively "
+        "(few containers, cold-start tail); BPred predicts but\ncannot "
+        "batch (Bline-like container counts); Fifer combines batching with "
+        "LSTM-driven\nproactive scaling — SBatch-like container counts at "
+        "Bline-like SLO compliance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires building a wheel; on offline boxes lacking
+the wheel module, `python setup.py develop` installs the same editable
+package using setuptools alone.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      — simulate one policy on a workload mix and trace.
+* ``compare``  — policies side by side (Figure 8 structure).
+* ``predict``  — train and score the eight forecasters (Figure 6).
+* ``figures``  — ASCII figures + CSV exports for a comparison.
+* ``report``   — run the evaluation, emit a markdown report.
+* ``tables``   — print the static paper tables (3, 4, 5, 6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.policies import EXTENDED_POLICY_NAMES, make_policy_config
+from repro.experiments import format_table, normalize
+from repro.experiments.predictors import pretrained_predictor
+from repro.runtime.system import ClusterSpec, ServerlessSystem
+from repro.traces import (
+    poisson_trace,
+    step_poisson_trace,
+    wiki_trace,
+    wits_trace,
+)
+from repro.traces.base import ArrivalTrace
+from repro.workloads import APPLICATIONS, MICROSERVICES, WORKLOAD_MIXES, get_mix
+
+TRACES = ("poisson", "step-poisson", "wiki", "wits")
+
+
+def _make_trace(kind: str, rate: float, duration: float, seed: int) -> ArrivalTrace:
+    if kind == "poisson":
+        return poisson_trace(rate, duration, seed=seed)
+    if kind == "step-poisson":
+        return step_poisson_trace(rate, duration, seed=seed)
+    if kind == "wiki":
+        return wiki_trace(avg_rps=rate, duration_s=duration, seed=seed)
+    if kind == "wits":
+        return wits_trace(avg_rps=rate, peak_rps=rate * 4, duration_s=duration,
+                          seed=seed)
+    raise ValueError(f"unknown trace {kind!r}")
+
+
+def _result_row(policy: str, result) -> tuple:
+    return (
+        policy,
+        f"{result.slo_violation_rate:.3%}",
+        f"{result.median_latency_ms:.0f}",
+        f"{result.p99_latency_ms:.0f}",
+        f"{result.avg_containers:.1f}",
+        result.cold_starts,
+        f"{result.energy_joules / 1e3:.0f}",
+    )
+
+
+_RESULT_HEADERS = ["policy", "SLO viol", "median(ms)", "P99(ms)",
+                   "avg containers", "cold starts", "energy(kJ)"]
+
+
+def _run_one(policy: str, mix_name: str, trace_kind: str, rate: float,
+             duration: float, seed: int, nodes: int):
+    config = make_policy_config(policy, idle_timeout_ms=60_000.0)
+    predictor = None
+    if config.proactive_predictor == "lstm":
+        train_kind = "poisson" if "poisson" in trace_kind else trace_kind
+        predictor = pretrained_predictor(train_kind, mean_rate_rps=rate)
+    system = ServerlessSystem(
+        config=config,
+        mix=get_mix(mix_name),
+        cluster_spec=ClusterSpec(n_nodes=nodes),
+        predictor=predictor,
+        seed=seed,
+    )
+    trace = _make_trace(trace_kind, rate, duration, seed)
+    return system.run(trace)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = _run_one(args.policy, args.mix, args.trace, args.rate,
+                      args.duration, args.seed, args.nodes)
+    print(format_table(
+        _RESULT_HEADERS, [_result_row(args.policy, result)],
+        title=f"{args.policy} on {args.mix} mix / {args.trace} trace "
+              f"({result.n_jobs} jobs)",
+    ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    results = {}
+    for policy in args.policies:
+        results[policy] = _run_one(policy, args.mix, args.trace, args.rate,
+                                   args.duration, args.seed, args.nodes)
+    rows = [_result_row(p, r) for p, r in results.items()]
+    print(format_table(
+        _RESULT_HEADERS, rows,
+        title=f"{args.mix} mix / {args.trace} trace",
+    ))
+    if "bline" in results:
+        norm = normalize(
+            {p: r.avg_containers for p, r in results.items()}, "bline"
+        )
+        print("\ncontainers vs bline: "
+              + "  ".join(f"{p}={v:.2f}x" for p, v in norm.items()))
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.prediction import default_predictors, evaluate_all, windowed_max_series
+
+    trace = _make_trace(args.trace, args.rate, args.duration, args.seed)
+    series = windowed_max_series(trace)
+    reports = evaluate_all(default_predictors(seed=args.seed), series)
+    rows = [
+        (r.name, f"{r.rmse:.1f}", f"{r.mae:.1f}",
+         f"{r.mean_latency_ms:.2f}", f"{r.accuracy:.0%}")
+        for r in sorted(reports, key=lambda r: r.rmse)
+    ]
+    print(format_table(
+        ["model", "RMSE", "MAE", "latency(ms)", "acc@20%"], rows,
+        title=f"forecasters on {args.trace} ({len(series)} intervals)",
+    ))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Run a policy comparison, print ASCII figures, export CSV data."""
+    from repro.experiments.export import export_all
+    from repro.metrics.ascii_plot import bar_chart, cdf_plot, sparkline
+
+    results = {}
+    for policy in args.policies:
+        results[policy] = _run_one(policy, args.mix, args.trace, args.rate,
+                                   args.duration, args.seed, args.nodes)
+
+    print(bar_chart(
+        {p: r.avg_containers for p, r in results.items()},
+        title=f"average containers ({args.mix} mix / {args.trace}):",
+    ))
+    print()
+    print(bar_chart(
+        {p: r.slo_violation_rate * 100 for p, r in results.items()},
+        unit="%", title="SLO violation rate:",
+    ))
+    print()
+    print(cdf_plot(
+        {p: r.latencies_ms for p, r in results.items()},
+        title="response-latency CDF (to P99):",
+    ))
+    for policy, r in results.items():
+        series = r.cumulative_spawn_series()
+        print(f"\ncumulative spawns {policy:8s} {sparkline(series)}")
+
+    paths = export_all(results, args.out, prefix=f"{args.mix}_{args.trace}")
+    print("\nCSV exports:")
+    for name, path in paths.items():
+        print(f"  {name}: {path}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Generate the full markdown experiment report."""
+    from repro.experiments.summary import ReportScale, generate_report
+
+    scale = ReportScale.full() if args.full else ReportScale.quick()
+    report = generate_report(scale=scale, include_traces=not args.no_traces)
+    if args.out:
+        import pathlib
+        pathlib.Path(args.out).write_text(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments import table4_rows, table6_rows
+    from repro.experiments.features import FEATURES
+
+    svc_rows = [
+        (s.name, s.description, s.model, f"{s.mean_exec_ms:g}")
+        for s in MICROSERVICES.values()
+    ]
+    print(format_table(
+        ["function", "service", "model", "exec(ms)"], svc_rows,
+        title="Table 3: microservices",
+    ))
+    print()
+    print(format_table(
+        ["application", "chain", "slack(ms)"], table4_rows(),
+        title="Table 4: chains and slack",
+    ))
+    print()
+    mix_rows = [
+        (m.name, ", ".join(a.name for a in m.applications),
+         f"{m.avg_slack_ms:.0f}")
+        for m in WORKLOAD_MIXES.values()
+    ]
+    print(format_table(
+        ["mix", "applications", "avg slack(ms)"], mix_rows,
+        title="Table 5: workload mixes",
+    ))
+    print()
+    print(format_table(
+        ["framework", *(f.split()[0] for f in FEATURES)], table6_rows(),
+        title="Table 6: features",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fifer reproduction (Middleware 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--mix", choices=sorted(WORKLOAD_MIXES), default="heavy")
+        p.add_argument("--trace", choices=TRACES, default="step-poisson")
+        p.add_argument("--rate", type=float, default=50.0,
+                       help="average arrival rate, req/s")
+        p.add_argument("--duration", type=float, default=300.0,
+                       help="trace length, seconds")
+        p.add_argument("--seed", type=int, default=5)
+        p.add_argument("--nodes", type=int, default=5,
+                       help="worker nodes (16 cores each)")
+
+    run_p = sub.add_parser("run", help="simulate one policy")
+    run_p.add_argument("policy", choices=EXTENDED_POLICY_NAMES)
+    add_common(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="compare policies side by side")
+    cmp_p.add_argument("--policies", nargs="+",
+                       default=list(EXTENDED_POLICY_NAMES[:5]),
+                       choices=EXTENDED_POLICY_NAMES)
+    add_common(cmp_p)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    pred_p = sub.add_parser("predict", help="score the eight forecasters")
+    add_common(pred_p)
+    pred_p.set_defaults(func=cmd_predict)
+
+    fig_p = sub.add_parser(
+        "figures", help="ASCII figures + CSV export for a comparison"
+    )
+    fig_p.add_argument("--policies", nargs="+",
+                       default=["bline", "rscale", "bpred"],
+                       choices=EXTENDED_POLICY_NAMES)
+    fig_p.add_argument("--out", default="figures_out",
+                       help="directory for CSV exports")
+    add_common(fig_p)
+    fig_p.set_defaults(func=cmd_figures)
+
+    tab_p = sub.add_parser("tables", help="print the static paper tables")
+    tab_p.set_defaults(func=cmd_tables)
+
+    rep_p = sub.add_parser(
+        "report", help="run the evaluation and emit a markdown report"
+    )
+    rep_p.add_argument("--full", action="store_true",
+                       help="bench-scale runs instead of the quick pass")
+    rep_p.add_argument("--no-traces", action="store_true",
+                       help="skip the wiki/wits replays")
+    rep_p.add_argument("--out", default=None, help="write to a file")
+    rep_p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Cluster substrate: nodes, containers, cold starts, placement, energy.
+
+Stands in for the paper's Kubernetes cluster (80 compute cores of dual-
+socket Cascade Lake servers) and scales to the 2500-core simulation.
+"""
+
+from repro.cluster.coldstart import ColdStartModel, IMAGE_SIZES_MB
+from repro.cluster.faults import (
+    ContainerFaultModel,
+    RegistryDegradation,
+    fail_node,
+)
+from repro.cluster.container import Container, ContainerState
+from repro.cluster.node import Node
+from repro.cluster.cluster import Cluster, NodePlacementPolicy
+from repro.cluster.energy import EnergyMeter, NodePowerModel
+
+__all__ = [
+    "ColdStartModel",
+    "IMAGE_SIZES_MB",
+    "Container",
+    "ContainerState",
+    "Node",
+    "Cluster",
+    "NodePlacementPolicy",
+    "EnergyMeter",
+    "NodePowerModel",
+    "ContainerFaultModel",
+    "RegistryDegradation",
+    "fail_node",
+]

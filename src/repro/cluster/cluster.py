@@ -1,0 +1,100 @@
+"""Cluster state and node-placement policies.
+
+Two placement policies are modelled:
+
+* ``PACK`` — the paper's modified ``MostRequestedPriority``: "always
+  chooses the node with the least-available-resources to satisfy the Pod
+  requirements ... assign containers to the lowest numbered server with
+  the least available cores" (section 5.1).  Used by the consolidating
+  RMs; enables whole-node power gating.
+* ``SPREAD`` — vanilla Kubernetes ``LeastRequestedPriority``: balance
+  load across nodes.  Used by the baseline RM; keeps every node awake.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.cluster.node import Node
+
+DEFAULT_CONTAINER_CPU = 0.5
+DEFAULT_CONTAINER_MEMORY_MB = 1024.0
+
+
+class NodePlacementPolicy(enum.Enum):
+    PACK = "pack"
+    SPREAD = "spread"
+
+
+class Cluster:
+    """A fixed set of worker nodes with a placement policy."""
+
+    def __init__(
+        self,
+        n_nodes: int = 5,
+        cores_per_node: float = 16,
+        memory_per_node_mb: float = 192 * 1024,
+        policy: NodePlacementPolicy = NodePlacementPolicy.PACK,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.nodes: List[Node] = [
+            Node(node_id=i, cores=cores_per_node, memory_mb=memory_per_node_mb)
+            for i in range(n_nodes)
+        ]
+        self.policy = policy
+        self.placement_failures = 0
+
+    @property
+    def total_cores(self) -> float:
+        return sum(node.cores for node in self.nodes)
+
+    @property
+    def allocated_cpu(self) -> float:
+        return sum(node.allocated_cpu for node in self.nodes)
+
+    @property
+    def total_containers(self) -> int:
+        return sum(node.container_count for node in self.nodes)
+
+    def container_capacity(self, cpu: float = DEFAULT_CONTAINER_CPU) -> int:
+        """How many containers of *cpu* shares fit cluster-wide."""
+        return int(sum(node.cores // cpu for node in self.nodes))
+
+    def select_node(
+        self,
+        cpu: float = DEFAULT_CONTAINER_CPU,
+        memory_mb: float = DEFAULT_CONTAINER_MEMORY_MB,
+    ) -> Optional[Node]:
+        """Pick a node per the placement policy; None if nothing fits."""
+        candidates = [n for n in self.nodes if n.fits(cpu, memory_mb)]
+        if not candidates:
+            return None
+        if self.policy == NodePlacementPolicy.PACK:
+            # Least free cores first; ties to the lowest-numbered node.
+            return min(candidates, key=lambda n: (n.free_cpu, n.node_id))
+        # SPREAD: most free cores first.
+        return min(candidates, key=lambda n: (-n.free_cpu, n.node_id))
+
+    def place(
+        self,
+        cpu: float = DEFAULT_CONTAINER_CPU,
+        memory_mb: float = DEFAULT_CONTAINER_MEMORY_MB,
+    ) -> Optional[Node]:
+        """Allocate a container on the selected node; None if full."""
+        node = self.select_node(cpu, memory_mb)
+        if node is None:
+            self.placement_failures += 1
+            return None
+        node.allocate(cpu, memory_mb)
+        return node
+
+    def release(
+        self,
+        node: Node,
+        now_ms: float,
+        cpu: float = DEFAULT_CONTAINER_CPU,
+        memory_mb: float = DEFAULT_CONTAINER_MEMORY_MB,
+    ) -> None:
+        node.release(cpu, memory_mb, now_ms)

@@ -1,0 +1,141 @@
+"""Failure injection for resilience testing.
+
+The paper evaluates a healthy cluster; a production resource manager
+must additionally survive container crashes, node failures and registry
+slowdowns.  This module provides controlled fault models the test suite
+injects to verify the RM degrades gracefully (tasks retried, capacity
+re-provisioned, no deadlock):
+
+* :class:`ContainerFaultModel` — per-task crash probability; a crashed
+  container dies mid-execution and its task is retried elsewhere.
+* :class:`RegistryDegradation` — cold-start inflation over a time
+  window (an image-registry brownout), stressing the reactive scaler's
+  queue-vs-spawn decision.
+* :func:`fail_node` — kill a node: every container on it terminates,
+  in-flight and locally-queued tasks return to their global queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.cluster.coldstart import ColdStartModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.workflow.pool import FunctionPool
+
+
+@dataclass
+class ContainerFaultModel:
+    """Bernoulli per-task crash model.
+
+    Attributes:
+        crash_probability: chance that any given task execution crashes
+            its container partway through.
+        crash_point: fraction of the execution time at which the crash
+            manifests (the work is lost; the task is retried).
+    """
+
+    crash_probability: float = 0.0
+    crash_point: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crash_probability <= 1.0:
+            raise ValueError("crash_probability must be within [0, 1]")
+        if not 0.0 < self.crash_point <= 1.0:
+            raise ValueError("crash_point must be in (0, 1]")
+
+    def should_crash(self, rng: np.random.Generator) -> bool:
+        return (
+            self.crash_probability > 0.0
+            and rng.random() < self.crash_probability
+        )
+
+
+class RegistryDegradation(ColdStartModel):
+    """A cold-start model whose pulls slow down inside a time window.
+
+    Outside ``[start_ms, end_ms)`` it behaves exactly like the wrapped
+    base model; inside, cold starts inflate by ``factor`` — modelling a
+    container-registry brownout.  Requires a clock callback because the
+    cold-start model itself is time-free.
+    """
+
+    def __init__(
+        self,
+        base: Optional[ColdStartModel] = None,
+        start_ms: float = 0.0,
+        end_ms: float = float("inf"),
+        factor: float = 3.0,
+        now_fn=None,
+    ) -> None:
+        base = base or ColdStartModel()
+        super().__init__(
+            base_spawn_ms=base.base_spawn_ms,
+            bandwidth_mbps=base.bandwidth_mbps,
+            jitter_sigma=base.jitter_sigma,
+        )
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        if end_ms < start_ms:
+            raise ValueError("end_ms must not precede start_ms")
+        self.start_ms = start_ms
+        self.end_ms = end_ms
+        self.factor = factor
+        self.now_fn = now_fn or (lambda: 0.0)
+        self.degraded_spawns = 0
+
+    def _active(self) -> bool:
+        now = self.now_fn()
+        return self.start_ms <= now < self.end_ms
+
+    def sample_ms(self, function: str, rng=None) -> float:
+        sample = super().sample_ms(function, rng)
+        if self._active():
+            self.degraded_spawns += 1
+            return sample * self.factor
+        return sample
+
+
+def fail_node(node: "Node", pools: List["FunctionPool"], now_ms: float) -> int:
+    """Kill *node*: terminate its containers across all pools and retry
+    their tasks.  Returns the number of containers destroyed.
+
+    In-flight executions are aborted (their completion events become
+    no-ops because the container is TERMINATED) and every affected task
+    re-enters its stage's global queue for rescheduling.
+    """
+    destroyed = 0
+    for pool in pools:
+        for container in list(pool.containers):
+            if container.node is not node:
+                continue
+            if container.state.value == "terminated":
+                continue
+            destroyed += 1
+            requeue = list(container.local_queue)
+            container.local_queue.clear()
+            inflight = container.current_task
+            container.current_task = None
+            container.state = type(container.state).TERMINATED
+            pool.retired_task_counts.append(container.tasks_executed)
+            pool.cluster.release(
+                node, now_ms,
+                cpu=container.service.cpu_cores,
+                memory_mb=container.service.memory_mb,
+            )
+            if inflight is not None:
+                requeue.insert(0, inflight)
+            for task in requeue:
+                record = task.record
+                record.start_ms = -1.0
+                record.cold_start_wait_ms = 0.0
+                pool.queue.push(task)
+                pool._waiting.append(task)
+        pool._compact()
+        pool.dispatch()
+    return destroyed

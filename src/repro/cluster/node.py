@@ -1,0 +1,78 @@
+"""Worker nodes (servers hosting containers).
+
+The paper's prototype nodes are dual-socket 16-core Cascade Lake hosts;
+each container requests 0.5 CPU-core and under 1 GB of memory, and idle
+cores are computed as "the difference between the number of cores in a
+node and the sum of cpu-shares for all allocated pods" (section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+DEFAULT_CORES = 16
+DEFAULT_MEMORY_MB = 192 * 1024
+
+
+@dataclass
+class Node:
+    """A server in the cluster.
+
+    Attributes:
+        node_id: index (placement prefers lower-numbered nodes).
+        cores: schedulable CPU cores.
+        memory_mb: schedulable memory.
+    """
+
+    node_id: int
+    cores: float = DEFAULT_CORES
+    memory_mb: float = DEFAULT_MEMORY_MB
+    allocated_cpu: float = 0.0
+    allocated_memory_mb: float = 0.0
+    container_count: int = 0
+    #: Simulation time when the node last became empty (for power gating).
+    idle_since_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.memory_mb <= 0:
+            raise ValueError("node capacity must be positive")
+
+    @property
+    def free_cpu(self) -> float:
+        return self.cores - self.allocated_cpu
+
+    @property
+    def free_memory_mb(self) -> float:
+        return self.memory_mb - self.allocated_memory_mb
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of cores allocated to pods."""
+        return self.allocated_cpu / self.cores
+
+    @property
+    def empty(self) -> bool:
+        return self.container_count == 0
+
+    def fits(self, cpu: float, memory_mb: float) -> bool:
+        eps = 1e-9
+        return self.free_cpu + eps >= cpu and self.free_memory_mb + eps >= memory_mb
+
+    def allocate(self, cpu: float, memory_mb: float) -> None:
+        if not self.fits(cpu, memory_mb):
+            raise RuntimeError(
+                f"node {self.node_id} cannot fit cpu={cpu}, mem={memory_mb}"
+            )
+        self.allocated_cpu += cpu
+        self.allocated_memory_mb += memory_mb
+        self.container_count += 1
+
+    def release(self, cpu: float, memory_mb: float, now_ms: float) -> None:
+        if self.container_count <= 0:
+            raise RuntimeError(f"node {self.node_id} has no containers to release")
+        self.allocated_cpu = max(0.0, self.allocated_cpu - cpu)
+        self.allocated_memory_mb = max(0.0, self.allocated_memory_mb - memory_mb)
+        self.container_count -= 1
+        if self.container_count == 0:
+            self.idle_since_ms = now_ms

@@ -1,0 +1,40 @@
+"""The paper's primary contribution: Fifer's resource-management core.
+
+* :mod:`repro.core.slack` — slack estimation and per-stage distribution
+  (proportional vs equal division) and batch sizing.
+* :mod:`repro.core.scheduling` — FIFO and Least-Slack-First queues.
+* :mod:`repro.core.sizing` — Little's-law container sizing used by the
+  static and proactive provisioners.
+* :mod:`repro.core.scaling` — reactive (RScale) and proactive scalers.
+* :mod:`repro.core.policies` — the five composed resource managers:
+  Bline, SBatch, RScale, BPred and Fifer.
+"""
+
+from repro.core.slack import (
+    SlackDivision,
+    StagePlan,
+    batch_size_for,
+    build_stage_plan,
+    distribute_slack,
+    function_batch_sizes,
+)
+from repro.core.scheduling import FIFOQueue, LSFQueue, SchedulingPolicy, make_queue
+from repro.core.sizing import containers_for_rate
+from repro.core.policies import RMConfig, POLICY_NAMES, make_policy_config
+
+__all__ = [
+    "SlackDivision",
+    "StagePlan",
+    "batch_size_for",
+    "build_stage_plan",
+    "distribute_slack",
+    "function_batch_sizes",
+    "FIFOQueue",
+    "LSFQueue",
+    "SchedulingPolicy",
+    "make_queue",
+    "containers_for_rate",
+    "RMConfig",
+    "POLICY_NAMES",
+    "make_policy_config",
+]

@@ -1,0 +1,47 @@
+"""Container-count sizing from an arrival rate.
+
+Both the static SBatch provisioner ("fix the number of containers based
+on the average arrival rates", section 5.3) and the proactive scalers
+(Algorithm 1(e)) must convert a request rate into a container count.
+By Little's law the mean number of in-service requests at a stage is
+``rate * exec_time``; dividing by a target utilisation leaves headroom
+for stochastic bursts.
+
+Note that batching does *not* change this steady-state count — a
+container processes one request at a time regardless of its queue
+length.  Batching changes *burst* behaviour: a local queue of B absorbs
+an arrival spike that would otherwise trigger B cold starts.  That
+difference is exactly what the simulation exposes.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def containers_for_rate(
+    rate_rps: float,
+    exec_ms: float,
+    utilization_target: float = 0.8,
+    minimum: int = 0,
+) -> int:
+    """Containers needed to serve *rate_rps* at a stage.
+
+    Args:
+        rate_rps: arrival rate at the stage (requests/second).
+        exec_ms: mean stage execution time.
+        utilization_target: desired per-container busy fraction in
+            (0, 1]; smaller values over-provision for burst headroom.
+        minimum: lower clamp on the result (0 allows "no containers"
+            when the predicted rate is zero).
+    """
+    if rate_rps < 0:
+        raise ValueError("rate must be non-negative")
+    if exec_ms <= 0:
+        raise ValueError("exec_ms must be positive")
+    if not 0.0 < utilization_target <= 1.0:
+        raise ValueError("utilization_target must be in (0, 1]")
+    if rate_rps == 0:
+        return minimum
+    offered_load = rate_rps * exec_ms / 1000.0  # Erlangs
+    return max(minimum, math.ceil(offered_load / utilization_target))

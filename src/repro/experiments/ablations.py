@@ -1,0 +1,182 @@
+"""Ablation studies on Fifer's design choices (DESIGN.md section 6).
+
+The paper motivates several design decisions without always isolating
+them; because our five policies share one mechanism set, each choice can
+be toggled independently:
+
+* **Slack division** — proportional (Fifer) vs equal (ED): the paper
+  cites GrandSLAm for proportional giving better per-stage utilisation.
+* **Scheduling** — LSF vs FIFO on shared stages (section 4.3).
+* **Predictor** — any of the eight Figure 6 models can drive Fifer's
+  proactive scaler; the LSTM is the paper's pick.
+* **Placement** — pack (MostRequestedPriority) vs spread: the energy
+  mechanism of section 4.4.2.
+* **SLO sensitivity** — section 8: chains whose execution time exceeds
+  ~50% of the SLO gain little from batching.
+* **HPA baseline** — the Knative-style autoscaler of section 2.2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import NodePlacementPolicy
+from repro.core.policies import make_policy_config
+from repro.core.scheduling import SchedulingPolicy
+from repro.core.slack import SlackDivision
+from repro.experiments.predictors import pretrained_predictor
+from repro.experiments.prototype import (
+    DEFAULT_IDLE_TIMEOUT_MS,
+    prototype_cluster,
+    prototype_trace,
+)
+from repro.metrics.collector import RunResult
+from repro.runtime.system import ServerlessSystem
+from repro.workloads import get_mix
+from repro.workloads.applications import Application
+from repro.workloads.mixes import WorkloadMix
+
+
+def _run(config, mix, trace, predictor=None, seed=5) -> RunResult:
+    system = ServerlessSystem(
+        config=config,
+        mix=mix,
+        cluster_spec=prototype_cluster(),
+        predictor=predictor,
+        seed=seed,
+    )
+    return system.run(trace)
+
+
+def slack_division_ablation(
+    mix_name: str = "heavy",
+    duration_s: float = 300.0,
+    seed: int = 5,
+) -> Dict[str, RunResult]:
+    """RScale with proportional vs equal slack division."""
+    trace = prototype_trace(duration_s=duration_s, seed=seed)
+    mix = get_mix(mix_name)
+    out = {}
+    for division in (SlackDivision.PROPORTIONAL, SlackDivision.EQUAL):
+        config = make_policy_config(
+            "rscale",
+            slack_division=division,
+            idle_timeout_ms=DEFAULT_IDLE_TIMEOUT_MS,
+        )
+        out[division.value] = _run(config, mix, trace, seed=seed)
+    return out
+
+
+def scheduling_ablation(
+    mix_name: str = "medium",
+    duration_s: float = 300.0,
+    seed: int = 5,
+) -> Dict[str, RunResult]:
+    """LSF vs FIFO for Fifer on a mix with *shared* stages.
+
+    The medium mix (IPA + IMG) shares NLP and QA, where the two chains'
+    residual slack differs — the scenario section 4.3 designs LSF for.
+    """
+    trace = prototype_trace(duration_s=duration_s, seed=seed)
+    mix = get_mix(mix_name)
+    predictor = pretrained_predictor("poisson")
+    out = {}
+    for policy in (SchedulingPolicy.LSF, SchedulingPolicy.FIFO):
+        config = make_policy_config(
+            "fifer", scheduling=policy,
+            idle_timeout_ms=DEFAULT_IDLE_TIMEOUT_MS,
+        )
+        out[policy.value] = _run(config, mix, trace, predictor, seed=seed)
+    return out
+
+
+def predictor_ablation(
+    models: Sequence[str] = ("lstm", "ewma", "mwa"),
+    mix_name: str = "heavy",
+    duration_s: float = 300.0,
+    seed: int = 5,
+) -> Dict[str, RunResult]:
+    """Fifer driven by different forecasters (the swap-ability hook)."""
+    trace = prototype_trace(duration_s=duration_s, seed=seed)
+    mix = get_mix(mix_name)
+    out = {}
+    for model in models:
+        predictor = pretrained_predictor("poisson", model=model)
+        config = make_policy_config(
+            "fifer", proactive_predictor=model,
+            idle_timeout_ms=DEFAULT_IDLE_TIMEOUT_MS,
+        )
+        out[model] = _run(config, mix, trace, predictor, seed=seed)
+    return out
+
+
+def placement_ablation(
+    mix_name: str = "heavy",
+    duration_s: float = 300.0,
+    seed: int = 5,
+) -> Dict[str, RunResult]:
+    """Fifer with pack vs spread node selection (energy mechanism)."""
+    trace = prototype_trace(duration_s=duration_s, seed=seed)
+    mix = get_mix(mix_name)
+    predictor = pretrained_predictor("poisson")
+    out = {}
+    for placement in (NodePlacementPolicy.PACK, NodePlacementPolicy.SPREAD):
+        config = make_policy_config(
+            "fifer", placement=placement,
+            idle_timeout_ms=DEFAULT_IDLE_TIMEOUT_MS,
+        )
+        out[placement.value] = _run(config, mix, trace, predictor, seed=seed)
+    return out
+
+
+def slo_sensitivity(
+    slos_ms: Sequence[float] = (600.0, 800.0, 1000.0, 1500.0, 2000.0),
+    mix_name: str = "heavy",
+    duration_s: float = 240.0,
+    seed: int = 5,
+) -> Dict[float, RunResult]:
+    """Fifer under tightening SLOs (section 8's batching-collapse point).
+
+    SLOs below the heaviest chain's execution + overhead are skipped —
+    no slack exists there at all.
+    """
+    base_mix = get_mix(mix_name)
+    trace = prototype_trace(duration_s=duration_s, seed=seed)
+    predictor = pretrained_predictor("poisson")
+    out: Dict[float, RunResult] = {}
+    for slo in slos_ms:
+        try:
+            apps = tuple(app.with_slo(slo) for app in base_mix.applications)
+        except ValueError:
+            continue  # execution exceeds this SLO; no feasible plan
+        mix = WorkloadMix(
+            name=f"{base_mix.name}@slo{slo:.0f}",
+            applications=apps,
+            weights=base_mix.weights,
+        )
+        config = make_policy_config(
+            "fifer", idle_timeout_ms=DEFAULT_IDLE_TIMEOUT_MS
+        )
+        out[slo] = _run(config, mix, trace, predictor, seed=seed)
+    return out
+
+
+def hpa_comparison(
+    mix_name: str = "heavy",
+    duration_s: float = 300.0,
+    seed: int = 5,
+) -> Dict[str, RunResult]:
+    """Fifer vs the Knative-style HPA baseline (section 2.2.1)."""
+    trace = prototype_trace(duration_s=duration_s, seed=seed)
+    mix = get_mix(mix_name)
+    out = {
+        "hpa": _run(
+            make_policy_config("hpa", idle_timeout_ms=DEFAULT_IDLE_TIMEOUT_MS),
+            mix, trace, seed=seed,
+        ),
+        "fifer": _run(
+            make_policy_config("fifer", idle_timeout_ms=DEFAULT_IDLE_TIMEOUT_MS),
+            mix, trace, pretrained_predictor("poisson"), seed=seed,
+        ),
+    }
+    return out

@@ -1,0 +1,88 @@
+"""Characterisation experiments: Figures 2 and 3, Table 4.
+
+These are measurement reproductions, not policy runs: they exercise the
+latency models that stand in for AWS Lambda and the Djinn&Tonic suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.workloads import (
+    APPLICATIONS,
+    LAMBDA_MODELS,
+    MICROSERVICES,
+    measure_cold_start,
+    measure_warm_start,
+)
+
+#: The eight microservices characterised in Figure 3b.
+FIGURE3B_SERVICES = ["ASR", "IMC", "HS", "AP", "FACED", "FACER", "NLP", "QA"]
+
+
+def figure2_rows(warm_samples: int = 100, seed: int = 0) -> List[Tuple]:
+    """Figure 2: cold- and warm-start latency per pre-trained model.
+
+    Cold start is the first invocation; warm start averages
+    *warm_samples* subsequent invocations, as in the paper.
+    Returns rows ``(model, cold_exec, cold_rtt, warm_exec, warm_rtt,
+    overhead)`` in milliseconds.
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for name, model in LAMBDA_MODELS.items():
+        cold = measure_cold_start(model, rng)
+        warm_runs = [measure_warm_start(model, rng) for _ in range(warm_samples)]
+        warm_exec = float(np.mean([w["exec_time"] for w in warm_runs]))
+        warm_rtt = float(np.mean([w["rtt"] for w in warm_runs]))
+        rows.append(
+            (
+                name,
+                cold["exec_time"],
+                cold["rtt"],
+                warm_exec,
+                warm_rtt,
+                cold["rtt"] - warm_rtt,
+            )
+        )
+    return rows
+
+
+def figure3a_rows() -> List[Tuple]:
+    """Figure 3a: per-stage execution-time breakdown of the four chains.
+
+    Returns rows ``(application, stage, exec_ms, share_of_total)``.
+    """
+    rows = []
+    for app in APPLICATIONS.values():
+        total = app.total_exec_ms
+        for svc in app.stages:
+            rows.append((app.name, svc.name, svc.mean_exec_ms,
+                         svc.mean_exec_ms / total))
+    return rows
+
+
+def figure3b_rows(runs: int = 100, seed: int = 0) -> List[Tuple]:
+    """Figure 3b: exec-time mean and std over repeated runs, fixed input.
+
+    The paper's claim: the standard deviation stays within 20 ms.
+    Returns rows ``(microservice, mean_ms, std_ms)``.
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for name in FIGURE3B_SERVICES:
+        svc = MICROSERVICES[name]
+        samples = [svc.exec_time_ms(rng) for _ in range(runs)]
+        rows.append((name, float(np.mean(samples)), float(np.std(samples))))
+    return rows
+
+
+def table4_rows() -> List[Tuple]:
+    """Table 4: chain composition and average slack at the 1000 ms SLO."""
+    rows = []
+    for app in sorted(APPLICATIONS.values(), key=lambda a: -a.slack_ms):
+        chain = " => ".join(app.stage_names)
+        rows.append((app.name, chain, app.slack_ms))
+    return rows

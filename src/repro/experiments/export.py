@@ -1,0 +1,139 @@
+"""Figure-data export: CSV series for external plotting.
+
+The benches print text tables; this module writes the underlying data
+series — latency CDFs, container/spawn timelines, queuing distributions,
+per-policy summaries — as plain CSV so any plotting stack (matplotlib,
+gnuplot, spreadsheets) can regenerate the paper's figures from a run.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+from repro.metrics.collector import RunResult
+from repro.metrics.stats import cdf_points
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _write_rows(path: PathLike, header: Sequence[str], rows) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_summary(
+    results: Dict[str, RunResult], path: PathLike
+) -> pathlib.Path:
+    """One row of headline metrics per policy (Figures 8/13 style)."""
+    rows = []
+    for policy, r in results.items():
+        s = r.summary()
+        rows.append([
+            policy, r.mix, r.trace, int(s["jobs"]),
+            f"{s['slo_violation_rate']:.6f}",
+            f"{s['median_latency_ms']:.3f}",
+            f"{s['p99_latency_ms']:.3f}",
+            f"{s['avg_containers']:.3f}",
+            int(s["cold_starts"]),
+            f"{s['energy_joules']:.1f}",
+        ])
+    return _write_rows(
+        path,
+        ["policy", "mix", "trace", "jobs", "slo_violation_rate",
+         "median_latency_ms", "p99_latency_ms", "avg_containers",
+         "cold_starts", "energy_joules"],
+        rows,
+    )
+
+
+def export_latency_cdf(
+    results: Dict[str, RunResult],
+    path: PathLike,
+    up_to_percentile: float = 95.0,
+    points: int = 200,
+) -> pathlib.Path:
+    """Per-policy latency CDF samples (Figure 10a)."""
+    rows = []
+    for policy, r in results.items():
+        values = cdf_points(r.latencies_ms, up_to_percentile)
+        if values.size == 0:
+            continue
+        idx = np.linspace(0, values.size - 1, min(points, values.size))
+        for i in idx.astype(int):
+            fraction = (i + 1) / len(r.latencies_ms)
+            rows.append([policy, f"{values[i]:.3f}", f"{fraction:.6f}"])
+    return _write_rows(path, ["policy", "latency_ms", "cdf"], rows)
+
+
+def export_container_timeline(
+    results: Dict[str, RunResult], path: PathLike
+) -> pathlib.Path:
+    """Live containers per sample tick per policy (Figure 12b)."""
+    rows = []
+    for policy, r in results.items():
+        if not r.container_samples:
+            continue
+        totals = np.sum(list(r.container_samples.values()), axis=0)
+        for t, count in zip(r.sample_times_ms, totals):
+            rows.append([policy, f"{t:.1f}", int(count)])
+    return _write_rows(path, ["policy", "time_ms", "containers"], rows)
+
+
+def export_spawn_series(
+    results: Dict[str, RunResult],
+    path: PathLike,
+    interval_ms: float = 10_000.0,
+) -> pathlib.Path:
+    """Cumulative spawns per interval per policy (Figure 12b)."""
+    rows = []
+    for policy, r in results.items():
+        series = r.cumulative_spawn_series(interval_ms)
+        for k, value in enumerate(series):
+            rows.append([policy, f"{(k + 1) * interval_ms:.0f}", int(value)])
+    return _write_rows(
+        path, ["policy", "time_ms", "cumulative_spawns"], rows
+    )
+
+
+def export_queuing_distribution(
+    results: Dict[str, RunResult],
+    path: PathLike,
+    quantiles: Sequence[float] = (10, 25, 50, 75, 90, 95, 99),
+) -> pathlib.Path:
+    """Queuing-time quantiles per policy (Figure 10b)."""
+    rows = []
+    for policy, r in results.items():
+        if r.queue_ms.size == 0:
+            continue
+        values = np.percentile(r.queue_ms, quantiles)
+        rows.append([policy, *(f"{v:.3f}" for v in values)])
+    return _write_rows(
+        path, ["policy", *(f"p{q:g}" for q in quantiles)], rows
+    )
+
+
+def export_all(
+    results: Dict[str, RunResult], directory: PathLike, prefix: str = "run"
+) -> Dict[str, pathlib.Path]:
+    """Write every export for one result set; returns {name: path}."""
+    directory = pathlib.Path(directory)
+    return {
+        "summary": export_summary(results, directory / f"{prefix}_summary.csv"),
+        "latency_cdf": export_latency_cdf(
+            results, directory / f"{prefix}_latency_cdf.csv"),
+        "containers": export_container_timeline(
+            results, directory / f"{prefix}_containers.csv"),
+        "spawns": export_spawn_series(
+            results, directory / f"{prefix}_spawns.csv"),
+        "queuing": export_queuing_distribution(
+            results, directory / f"{prefix}_queuing.csv"),
+    }

@@ -1,0 +1,127 @@
+"""Seed-repetition harness: metric means and spreads across runs.
+
+Single-seed results can mislead on stochastic workloads; this harness
+repeats a (policy, mix, trace-distribution) configuration across seeds
+and reports mean, standard deviation and extrema per metric — the
+statistical hygiene layer on top of :func:`repro.runtime.run_policy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.policies import make_policy_config
+from repro.experiments.predictors import pretrained_predictor
+from repro.metrics.collector import RunResult
+from repro.runtime.system import ClusterSpec, ServerlessSystem
+from repro.traces import step_poisson_trace
+from repro.traces.base import ArrivalTrace
+from repro.workloads import get_mix
+
+#: Metrics aggregated by default (RunResult attributes/properties).
+DEFAULT_METRICS = (
+    "slo_violation_rate",
+    "median_latency_ms",
+    "p99_latency_ms",
+    "avg_containers",
+    "cold_starts",
+    "energy_joules",
+)
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Mean / spread of one metric across repeated runs."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    n: int
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "MetricStats":
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            raise ValueError("no values to aggregate")
+        return MetricStats(
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            min=float(arr.min()),
+            max=float(arr.max()),
+            n=int(arr.size),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} ± {self.std:.3f} [{self.min:.3f}, {self.max:.3f}]"
+
+
+def repeated_runs(
+    policy: str,
+    mix_name: str = "heavy",
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    trace_factory: Optional[Callable[[int], ArrivalTrace]] = None,
+    cluster_spec: Optional[ClusterSpec] = None,
+    **config_overrides,
+) -> List[RunResult]:
+    """Run *policy* once per seed; both the trace sample and the
+    system's internal randomness vary with the seed."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    trace_factory = trace_factory or (
+        lambda seed: step_poisson_trace(50.0, 180.0, variation=0.4, seed=seed)
+    )
+    cluster_spec = cluster_spec or ClusterSpec()
+    results: List[RunResult] = []
+    for seed in seeds:
+        config = make_policy_config(policy, **config_overrides)
+        predictor = None
+        if config.proactive_predictor == "lstm":
+            predictor = pretrained_predictor("poisson")
+        system = ServerlessSystem(
+            config=config,
+            mix=get_mix(mix_name),
+            cluster_spec=cluster_spec,
+            predictor=predictor,
+            seed=seed,
+        )
+        results.append(system.run(trace_factory(seed)))
+    return results
+
+
+def aggregate(
+    results: Sequence[RunResult],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+) -> Dict[str, MetricStats]:
+    """Per-metric statistics across a repeated-run batch."""
+    if not results:
+        raise ValueError("no results to aggregate")
+    out: Dict[str, MetricStats] = {}
+    for metric in metrics:
+        values = []
+        for result in results:
+            attr = getattr(result, metric)
+            values.append(float(attr() if callable(attr) else attr))
+        out[metric] = MetricStats.of(values)
+    return out
+
+
+def compare_with_confidence(
+    policy_a: str,
+    policy_b: str,
+    metric: str = "avg_containers",
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    **kwargs,
+) -> Dict[str, MetricStats]:
+    """Repeated-run comparison of one metric between two policies."""
+    return {
+        policy_a: aggregate(
+            repeated_runs(policy_a, seeds=seeds, **kwargs), [metric]
+        )[metric],
+        policy_b: aggregate(
+            repeated_runs(policy_b, seeds=seeds, **kwargs), [metric]
+        )[metric],
+    }

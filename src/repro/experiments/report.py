@@ -1,0 +1,54 @@
+"""Plain-text result tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table (benches print these to stdout)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def normalize(
+    values: Dict[str, float], base: str, eps: float = 1e-12
+) -> Dict[str, float]:
+    """Divide every value by the *base* entry (the paper normalises most
+    prototype metrics to Bline)."""
+    if base not in values:
+        raise KeyError(f"normalisation base {base!r} missing from {sorted(values)}")
+    denom = values[base]
+    if abs(denom) < eps:
+        # A zero baseline (e.g. zero violations everywhere) degenerates;
+        # report raw values instead of dividing by zero.
+        return dict(values)
+    return {k: v / denom for k, v in values.items()}

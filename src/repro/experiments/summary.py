@@ -1,0 +1,164 @@
+"""One-shot experiment report: run the evaluation, emit markdown.
+
+``generate_report()`` executes a configurable-scale version of the whole
+evaluation — characterisation, predictor comparison, prototype grid,
+trace replays — and renders a single markdown document with every table,
+so a fresh checkout can produce its own EXPERIMENTS-style evidence with
+one call (or ``python -m repro report``).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.characterization import (
+    figure2_rows,
+    figure3a_rows,
+    figure3b_rows,
+    table4_rows,
+)
+from repro.experiments.features import FEATURES, table6_rows
+from repro.experiments.predictors import figure6_reports
+from repro.experiments.prototype import run_prototype
+from repro.experiments.report import format_table, normalize
+from repro.experiments.simulation import run_trace_simulation
+from repro.metrics.collector import RunResult
+
+
+@dataclass(frozen=True)
+class ReportScale:
+    """How big a report run should be.
+
+    ``quick`` keeps everything under a couple of minutes; ``full``
+    matches the bench suite's defaults.
+    """
+
+    prototype_duration_s: float
+    trace_duration_s: float
+    predictor_duration_s: float
+    mixes: Sequence[str]
+
+    @staticmethod
+    def quick() -> "ReportScale":
+        return ReportScale(
+            prototype_duration_s=180.0,
+            trace_duration_s=240.0,
+            predictor_duration_s=1200.0,
+            mixes=("heavy",),
+        )
+
+    @staticmethod
+    def full() -> "ReportScale":
+        return ReportScale(
+            prototype_duration_s=600.0,
+            trace_duration_s=600.0,
+            predictor_duration_s=2400.0,
+            mixes=("heavy", "medium", "light"),
+        )
+
+
+def _policy_rows(results: Dict[str, RunResult]) -> List[tuple]:
+    norm = normalize({p: r.avg_containers for p, r in results.items()}, "bline")
+    return [
+        (
+            policy,
+            f"{r.slo_violation_rate:.3%}",
+            f"{r.median_latency_ms:.0f}",
+            f"{r.p99_latency_ms:.0f}",
+            f"{r.avg_containers:.1f}",
+            f"{norm[policy]:.2f}x",
+            r.cold_starts,
+            f"{r.energy_joules / 1e3:.0f}",
+        )
+        for policy, r in results.items()
+    ]
+
+
+_POLICY_HEADERS = ["policy", "SLO viol", "median(ms)", "P99(ms)",
+                   "avg containers", "vs bline", "cold starts", "energy(kJ)"]
+
+
+def generate_report(
+    scale: Optional[ReportScale] = None,
+    include_traces: bool = True,
+    seed: int = 5,
+) -> str:
+    """Run the evaluation and return a markdown report."""
+    scale = scale or ReportScale.quick()
+    out = io.StringIO()
+    w = out.write
+
+    w("# Fifer reproduction — generated experiment report\n\n")
+    w("All numbers below were produced by this checkout; see "
+      "EXPERIMENTS.md for the paper-vs-measured discussion.\n\n")
+
+    w("## Characterisation\n\n```\n")
+    w(format_table(
+        ["model", "cold exec", "cold RTT", "warm exec", "warm RTT", "gap"],
+        figure2_rows(warm_samples=50, seed=seed),
+        title="Figure 2: cold vs warm start (ms)",
+    ))
+    w("\n\n")
+    w(format_table(
+        ["application", "stage", "exec(ms)", "share"],
+        figure3a_rows(),
+        title="Figure 3a: per-stage execution breakdown",
+    ))
+    w("\n\n")
+    w(format_table(
+        ["microservice", "mean(ms)", "std(ms)"],
+        figure3b_rows(runs=100, seed=seed),
+        title="Figure 3b: execution-time variation",
+    ))
+    w("\n\n")
+    w(format_table(
+        ["application", "chain", "slack(ms)"],
+        table4_rows(),
+        title="Table 4: chains and slack",
+    ))
+    w("\n```\n\n")
+
+    w("## Prediction models (Figure 6)\n\n```\n")
+    reports = figure6_reports(duration_s=scale.predictor_duration_s, seed=11)
+    w(format_table(
+        ["model", "RMSE", "MAE", "latency(ms)", "acc@20%"],
+        [(r.name, r.rmse, r.mae, r.mean_latency_ms, r.accuracy)
+         for r in reports],
+        title="walk-forward forecasts on the WITS-like series",
+    ))
+    w("\n```\n\n")
+
+    w("## Prototype (Figures 8-12, 15)\n\n")
+    for mix in scale.mixes:
+        results = run_prototype(
+            mix, duration_s=scale.prototype_duration_s, seed=seed
+        )
+        w(f"### {mix} mix\n\n```\n")
+        w(format_table(_POLICY_HEADERS, _policy_rows(results)))
+        fifer = results["fifer"]
+        breakdown = fifer.p99_breakdown()
+        w(
+            f"\nfifer P99 breakdown: queuing {breakdown['queuing']:.0f} ms, "
+            f"cold {breakdown['cold_start']:.0f} ms, "
+            f"exec {breakdown['exec_time']:.0f} ms"
+        )
+        w("\n```\n\n")
+
+    if include_traces:
+        w("## Trace replays (Figures 13, 14, 16)\n\n")
+        for kind in ("wiki", "wits"):
+            results = run_trace_simulation(
+                kind, "heavy", duration_s=scale.trace_duration_s, seed=7
+            )
+            w(f"### {kind} trace, heavy mix\n\n```\n")
+            w(format_table(_POLICY_HEADERS, _policy_rows(results)))
+            w("\n```\n\n")
+
+    w("## Table 6 feature matrix\n\n```\n")
+    w(format_table(
+        ["framework", *(f.split()[0] for f in FEATURES)], table6_rows(),
+    ))
+    w("\n```\n")
+    return out.getvalue()

@@ -1,0 +1,112 @@
+"""Generic design-knob sweeps over RMConfig fields.
+
+Fifer has several magic numbers the paper fixes without sensitivity
+analysis — the 10 s monitoring interval, the 10 min idle timeout, the
+batch-size cap, the provisioning headroom.  ``sweep_config_field`` runs
+one policy across a range of values for any RMConfig field and returns
+the metric curves, so each choice's operating range can be mapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.policies import RMConfig, make_policy_config
+from repro.experiments.predictors import pretrained_predictor
+from repro.metrics.collector import RunResult
+from repro.runtime.system import ClusterSpec, ServerlessSystem
+from repro.traces import step_poisson_trace
+from repro.traces.base import ArrivalTrace
+from repro.workloads import get_mix
+
+_CONFIG_FIELDS = {f.name for f in dataclass_fields(RMConfig)}
+
+
+def sweep_config_field(
+    policy: str,
+    field: str,
+    values: Sequence,
+    mix_name: str = "heavy",
+    trace: Optional[ArrivalTrace] = None,
+    cluster_spec: Optional[ClusterSpec] = None,
+    seed: int = 5,
+    base_overrides: Optional[Dict] = None,
+) -> Dict:
+    """Run *policy* once per value of *field*; {value: RunResult}.
+
+    Every run shares the same trace, cluster and seed so the curve
+    isolates the knob under study.
+    """
+    if field not in _CONFIG_FIELDS:
+        raise ValueError(
+            f"{field!r} is not an RMConfig field; known: {sorted(_CONFIG_FIELDS)}"
+        )
+    if not values:
+        raise ValueError("need at least one value to sweep")
+    trace = trace if trace is not None else step_poisson_trace(
+        50.0, 240.0, variation=0.4, seed=seed
+    )
+    cluster_spec = cluster_spec or ClusterSpec()
+    overrides = dict(base_overrides or {})
+    results: Dict = {}
+    for value in values:
+        overrides[field] = value
+        config = make_policy_config(policy, **overrides)
+        predictor = None
+        if config.proactive_predictor == "lstm":
+            predictor = pretrained_predictor(
+                "poisson", mean_rate_rps=trace.mean_rate_rps
+            )
+        system = ServerlessSystem(
+            config=config,
+            mix=get_mix(mix_name),
+            cluster_spec=cluster_spec,
+            predictor=predictor,
+            seed=seed,
+        )
+        results[value] = system.run(trace)
+    return results
+
+
+def metric_curve(
+    results: Dict, metric: str = "slo_violation_rate"
+) -> List[tuple]:
+    """Extract ``[(value, metric), ...]`` rows from a sweep result."""
+    rows = []
+    for value, result in results.items():
+        attr = getattr(result, metric)
+        rows.append((value, attr() if callable(attr) else attr))
+    return rows
+
+
+def monitor_interval_sweep(
+    intervals_ms: Sequence[float] = (5_000.0, 10_000.0, 20_000.0, 40_000.0),
+    **kwargs,
+) -> Dict:
+    """How sensitive is RScale to the 10 s monitoring choice?"""
+    return sweep_config_field(
+        "rscale", "monitor_interval_ms", intervals_ms,
+        base_overrides={"idle_timeout_ms": 60_000.0}, **kwargs,
+    )
+
+
+def idle_timeout_sweep(
+    timeouts_ms: Sequence[float] = (15_000.0, 60_000.0, 240_000.0),
+    **kwargs,
+) -> Dict:
+    """The keep-warm vs reap trade-off (paper: 10 minutes)."""
+    return sweep_config_field(
+        "rscale", "idle_timeout_ms", timeouts_ms, **kwargs
+    )
+
+
+def max_batch_sweep(
+    caps: Sequence[int] = (1, 4, 16, 64),
+    **kwargs,
+) -> Dict:
+    """Batch-size cap: 1 degenerates to non-batching."""
+    return sweep_config_field(
+        "rscale", "max_batch", caps,
+        base_overrides={"idle_timeout_ms": 60_000.0}, **kwargs,
+    )

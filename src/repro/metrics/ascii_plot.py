@@ -1,0 +1,124 @@
+"""Terminal plotting: render figure-shaped data without matplotlib.
+
+The library runs in headless environments, so the examples and benches
+render their figures as unicode/ASCII art: horizontal bar charts for
+the per-policy comparisons, line plots for time series (containers over
+time, arrival rates), and CDF staircases for latency distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+_BAR = "█"
+_HALF = "▌"
+_DOTS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 40,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart, one row per labelled value."""
+    if not values:
+        return title or ""
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        filled = abs(value) / peak * width
+        whole = int(filled)
+        bar = _BAR * whole + (_HALF if filled - whole >= 0.5 else "")
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)} "
+                     f"{value:,.2f}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line sketch of a series (compressed to *width* buckets)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        chunks = np.array_split(arr, width)
+        arr = np.array([c.mean() for c in chunks])
+    top = arr.max()
+    if top <= 0:
+        return _DOTS[0] * len(arr)
+    idx = np.clip((arr / top * (len(_DOTS) - 1)).astype(int), 0,
+                  len(_DOTS) - 1)
+    return "".join(_DOTS[i] for i in idx)
+
+
+def line_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 12,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    Args:
+        series: {name: (x_values, y_values)}; each series gets a marker.
+    """
+    markers = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    all_x = np.concatenate([np.asarray(x, float) for x, _ in series.values()
+                            if len(x)]) if series else np.empty(0)
+    all_y = np.concatenate([np.asarray(y, float) for _, y in series.values()
+                            if len(y)]) if series else np.empty(0)
+    if all_x.size == 0:
+        return title or ""
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    for (name, (xs, ys)), marker in zip(series.items(), markers):
+        for x, y in zip(xs, ys):
+            col = int((float(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((float(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = [title] if title else []
+    if y_label:
+        lines.append(f"{y_label} (top={y_hi:,.1f}, bottom={y_lo:,.1f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    footer = f" {x_lo:,.0f} .. {x_hi:,.0f}"
+    if x_label:
+        footer += f" {x_label}"
+    lines.append(footer)
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    samples: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 12,
+    title: Optional[str] = None,
+    up_to_percentile: float = 99.0,
+) -> str:
+    """CDF staircases for several sample sets (Figure 10a style)."""
+    series = {}
+    for name, values in samples.items():
+        arr = np.sort(np.asarray(values, dtype=float))
+        if arr.size == 0:
+            continue
+        cut = max(1, int(np.ceil(arr.size * up_to_percentile / 100.0)))
+        arr = arr[:cut]
+        fractions = (np.arange(arr.size) + 1) / len(values)
+        series[name] = (arr, fractions)
+    return line_plot(
+        series, width=width, height=height, title=title,
+        x_label="latency (ms)", y_label="CDF",
+    )

@@ -1,0 +1,217 @@
+"""Run-level metrics: everything the paper's figures report.
+
+The collector samples cluster state on the paper's 10 s cadence and
+accumulates per-job latency breakdowns; :class:`RunResult` exposes the
+derived metrics — SLO-violation rate, average containers spawned,
+median/tail latency, requests-per-container, cold-start counts,
+queuing-time distribution and cluster energy (metrics (i)-(v) of
+section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.energy import EnergyMeter
+from repro.metrics.stats import summarize_latencies
+from repro.workflow.job import Job
+from repro.workflow.pool import FunctionPool
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (policy, workload, trace) simulation."""
+
+    policy: str
+    mix: str
+    trace: str
+    duration_ms: float
+    # Jobs.
+    n_jobs: int
+    n_completed: int
+    n_incomplete: int
+    latencies_ms: np.ndarray
+    violations: int
+    # Latency breakdown (aligned with latencies_ms).
+    exec_ms: np.ndarray
+    cold_wait_ms: np.ndarray
+    batch_wait_ms: np.ndarray
+    queue_ms: np.ndarray
+    # Containers.
+    sample_times_ms: np.ndarray
+    container_samples: Dict[str, np.ndarray]
+    total_spawns: int
+    spawns_per_pool: Dict[str, int]
+    spawn_times_ms: Dict[str, List[float]]
+    rpc_per_pool: Dict[str, float]
+    failed_spawns: int
+    # Energy.
+    energy_joules: float
+    mean_power_w: float
+    mean_active_nodes: float
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def slo_violation_rate(self) -> float:
+        """Violations (incomplete jobs count as violated) over all jobs."""
+        if self.n_jobs == 0:
+            return 0.0
+        return (self.violations + self.n_incomplete) / self.n_jobs
+
+    @property
+    def latency_summary(self) -> Dict[str, float]:
+        return summarize_latencies(self.latencies_ms)
+
+    @property
+    def median_latency_ms(self) -> float:
+        return self.latency_summary["p50"]
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency_summary["p99"]
+
+    @property
+    def avg_containers(self) -> float:
+        """Mean concurrently live containers over the run's samples."""
+        if not self.container_samples:
+            return 0.0
+        totals = np.sum(list(self.container_samples.values()), axis=0)
+        return float(totals.mean()) if totals.size else 0.0
+
+    @property
+    def peak_containers(self) -> int:
+        if not self.container_samples:
+            return 0
+        totals = np.sum(list(self.container_samples.values()), axis=0)
+        return int(totals.max()) if totals.size else 0
+
+    @property
+    def cold_starts(self) -> int:
+        """Every spawn is a cold start (Figure 16)."""
+        return self.total_spawns
+
+    def stage_container_distribution(self) -> Dict[str, float]:
+        """Average live-container share per function (Figure 11)."""
+        if not self.container_samples:
+            return {}
+        means = {k: float(v.mean()) for k, v in self.container_samples.items()}
+        total = sum(means.values())
+        if total <= 0:
+            return {k: 0.0 for k in means}
+        return {k: v / total for k, v in means.items()}
+
+    def p99_breakdown(self) -> Dict[str, float]:
+        """Mean latency components among the slowest 1% of jobs (Fig. 9)."""
+        if self.latencies_ms.size == 0:
+            return {"queuing": 0.0, "cold_start": 0.0, "exec_time": 0.0}
+        threshold = np.percentile(self.latencies_ms, 99)
+        mask = self.latencies_ms >= threshold
+        return {
+            "queuing": float(self.batch_wait_ms[mask].mean()),
+            "cold_start": float(self.cold_wait_ms[mask].mean()),
+            "exec_time": float(self.exec_ms[mask].mean()),
+        }
+
+    def cumulative_spawn_series(self, interval_ms: float = 10_000.0) -> np.ndarray:
+        """Cumulative container spawns per interval (Figure 12b)."""
+        all_times = [t for times in self.spawn_times_ms.values() for t in times]
+        n_bins = max(1, int(np.ceil(self.duration_ms / interval_ms)))
+        edges = np.arange(n_bins + 1) * interval_ms
+        counts, _ = np.histogram(all_times, bins=edges)
+        return np.cumsum(counts)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline numbers for reports."""
+        lat = self.latency_summary
+        return {
+            "jobs": float(self.n_jobs),
+            "completed": float(self.n_completed),
+            "slo_violation_rate": self.slo_violation_rate,
+            "median_latency_ms": lat["p50"],
+            "p99_latency_ms": lat["p99"],
+            "avg_containers": self.avg_containers,
+            "cold_starts": float(self.cold_starts),
+            "energy_joules": self.energy_joules,
+            "mean_active_nodes": self.mean_active_nodes,
+        }
+
+
+class MetricsCollector:
+    """Accumulates jobs and periodic cluster samples during a run."""
+
+    def __init__(self, energy_meter: EnergyMeter) -> None:
+        self.energy_meter = energy_meter
+        self.completed_jobs: List[Job] = []
+        self.jobs_created = 0
+        self.sample_times: List[float] = []
+        self.pool_samples: Dict[str, List[int]] = {}
+
+    def record_job_created(self) -> None:
+        self.jobs_created += 1
+
+    def record_job_completed(self, job: Job) -> None:
+        self.completed_jobs.append(job)
+
+    def sample(
+        self,
+        pools: Dict[str, FunctionPool],
+        nodes,
+        now_ms: float,
+        sample_energy: bool = True,
+    ) -> None:
+        """One 10 s sampling tick: containers per pool + cluster power.
+
+        Multi-tenant deployments meter the shared cluster's energy once
+        centrally and pass ``sample_energy=False`` per tenant.
+        """
+        self.sample_times.append(now_ms)
+        for name, pool in pools.items():
+            self.pool_samples.setdefault(name, []).append(pool.n_containers)
+        if sample_energy:
+            self.energy_meter.sample(nodes, now_ms)
+
+    def finalize(
+        self,
+        policy: str,
+        mix: str,
+        trace: str,
+        duration_ms: float,
+        pools: Dict[str, FunctionPool],
+    ) -> RunResult:
+        jobs = self.completed_jobs
+        latencies = np.array([j.response_latency_ms for j in jobs])
+        violations = int(sum(1 for j in jobs if j.violated_slo))
+        n_samples = len(self.sample_times)
+        container_samples = {
+            name: np.asarray(samples[:n_samples])
+            for name, samples in self.pool_samples.items()
+        }
+        return RunResult(
+            policy=policy,
+            mix=mix,
+            trace=trace,
+            duration_ms=duration_ms,
+            n_jobs=self.jobs_created,
+            n_completed=len(jobs),
+            n_incomplete=self.jobs_created - len(jobs),
+            latencies_ms=latencies,
+            violations=violations,
+            exec_ms=np.array([j.total_exec_ms for j in jobs]),
+            cold_wait_ms=np.array([j.total_cold_start_wait_ms for j in jobs]),
+            batch_wait_ms=np.array([j.total_batching_wait_ms for j in jobs]),
+            queue_ms=np.array([j.total_queue_delay_ms for j in jobs]),
+            sample_times_ms=np.asarray(self.sample_times),
+            container_samples=container_samples,
+            total_spawns=sum(p.total_spawns for p in pools.values()),
+            spawns_per_pool={n: p.total_spawns for n, p in pools.items()},
+            spawn_times_ms={n: list(p.spawn_times_ms) for n, p in pools.items()},
+            rpc_per_pool={n: p.tasks_per_container() for n, p in pools.items()},
+            failed_spawns=sum(p.failed_spawns for p in pools.values()),
+            energy_joules=self.energy_meter.total_joules,
+            mean_power_w=self.energy_meter.mean_power_w,
+            mean_active_nodes=self.energy_meter.mean_active_nodes,
+        )

@@ -1,0 +1,44 @@
+"""Small statistics helpers shared by collectors and benches."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (q in [0, 100]) with linear interpolation.
+
+    Returns 0.0 for empty input — convenient for zero-job corner cases
+    in reports.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    return float(np.percentile(arr, q))
+
+
+def summarize_latencies(latencies_ms: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / tail summary used throughout the evaluation."""
+    arr = np.asarray(latencies_ms, dtype=float)
+    if arr.size == 0:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+def cdf_points(values: Sequence[float], up_to_percentile: float = 100.0) -> np.ndarray:
+    """Sorted values truncated at a percentile (Figure 10a plots to P95)."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        return arr
+    cut = int(np.ceil(arr.size * up_to_percentile / 100.0))
+    return arr[: max(1, cut)]

@@ -1,0 +1,110 @@
+"""Time-series views over run results (Figure 12b-style analyses).
+
+The collectors in :mod:`repro.metrics.collector` aggregate a whole run;
+this module extracts the *time-resolved* signals the paper plots —
+containers over time, spawn bursts, rolling latency/violation windows —
+so behaviour around individual load swings can be inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.collector import RunResult
+from repro.workflow.job import Job
+
+
+def containers_over_time(result: RunResult) -> Tuple[np.ndarray, np.ndarray]:
+    """Total live containers at each sample tick: (times_ms, counts)."""
+    if not result.container_samples:
+        return np.empty(0), np.empty(0)
+    totals = np.sum(list(result.container_samples.values()), axis=0)
+    return result.sample_times_ms.copy(), totals
+
+
+def spawn_rate_series(
+    result: RunResult, interval_ms: float = 10_000.0
+) -> np.ndarray:
+    """Containers spawned per interval (the non-cumulative Figure 12b)."""
+    cumulative = result.cumulative_spawn_series(interval_ms)
+    if cumulative.size == 0:
+        return cumulative
+    return np.diff(np.concatenate([[0], cumulative]))
+
+
+def rolling_violation_rate(
+    jobs: Sequence[Job], window_ms: float = 60_000.0,
+    duration_ms: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """SLO-violation fraction in consecutive completion-time windows.
+
+    Returns (window_start_ms, violation_rate) arrays; windows with no
+    completed jobs report 0.
+    """
+    if window_ms <= 0:
+        raise ValueError("window_ms must be positive")
+    completed = [j for j in jobs if j.completed]
+    if not completed:
+        return np.empty(0), np.empty(0)
+    ends = np.array([j.completion_ms for j in completed])
+    violated = np.array([j.violated_slo for j in completed], dtype=float)
+    span = duration_ms if duration_ms is not None else float(ends.max())
+    n_windows = max(1, int(np.ceil(span / window_ms)))
+    starts = np.arange(n_windows) * window_ms
+    rates = np.zeros(n_windows)
+    idx = np.clip((ends // window_ms).astype(int), 0, n_windows - 1)
+    for k in range(n_windows):
+        mask = idx == k
+        if mask.any():
+            rates[k] = violated[mask].mean()
+    return starts, rates
+
+
+def rolling_latency_percentile(
+    jobs: Sequence[Job], q: float = 99.0, window_ms: float = 60_000.0,
+    duration_ms: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-window latency percentile over completion times."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    completed = [j for j in jobs if j.completed]
+    if not completed:
+        return np.empty(0), np.empty(0)
+    ends = np.array([j.completion_ms for j in completed])
+    latencies = np.array([j.response_latency_ms for j in completed])
+    span = duration_ms if duration_ms is not None else float(ends.max())
+    n_windows = max(1, int(np.ceil(span / window_ms)))
+    starts = np.arange(n_windows) * window_ms
+    values = np.zeros(n_windows)
+    idx = np.clip((ends // window_ms).astype(int), 0, n_windows - 1)
+    for k in range(n_windows):
+        mask = idx == k
+        if mask.any():
+            values[k] = np.percentile(latencies[mask], q)
+    return starts, values
+
+
+@dataclass(frozen=True)
+class TimelineSummary:
+    """Condensed time-resolved comparison between two runs."""
+
+    peak_containers_a: int
+    peak_containers_b: int
+    worst_window_violation_a: float
+    worst_window_violation_b: float
+
+    @staticmethod
+    def compare(result_a: RunResult, jobs_a: Sequence[Job],
+                result_b: RunResult, jobs_b: Sequence[Job],
+                window_ms: float = 60_000.0) -> "TimelineSummary":
+        _, viol_a = rolling_violation_rate(jobs_a, window_ms)
+        _, viol_b = rolling_violation_rate(jobs_b, window_ms)
+        return TimelineSummary(
+            peak_containers_a=result_a.peak_containers,
+            peak_containers_b=result_b.peak_containers,
+            worst_window_violation_a=float(viol_a.max()) if viol_a.size else 0.0,
+            worst_window_violation_b=float(viol_b.max()) if viol_b.size else 0.0,
+        )

@@ -1,0 +1,54 @@
+"""Common predictor interface."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class Predictor(abc.ABC):
+    """One-step-ahead arrival-rate forecaster.
+
+    Lifecycle mirrors the paper: ML models are *pre-trained offline* on
+    60% of the trace (:meth:`fit`), non-ML models are "continuously
+    fitted over requests in the last t-100 seconds" — for those
+    :meth:`fit` is a no-op and all the work happens in :meth:`predict`
+    from the supplied history window.
+    """
+
+    #: Human-readable model name (Figure 6 x-axis label).
+    name: str = "predictor"
+    #: Whether :meth:`fit` performs offline training.
+    trainable: bool = False
+
+    def fit(self, series: Sequence[float]) -> "Predictor":
+        """Offline pre-training on a historical rate series (optional)."""
+        return self
+
+    @abc.abstractmethod
+    def predict(self, history: Sequence[float]) -> float:
+        """Forecast the next value given recent history (oldest first)."""
+
+    def predict_horizon(self, history: Sequence[float], steps: int) -> np.ndarray:
+        """Iterated multi-step forecast (feeds predictions back in)."""
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        buf = list(np.asarray(history, dtype=float))
+        out = []
+        for _ in range(steps):
+            nxt = self.predict(buf)
+            out.append(nxt)
+            buf.append(nxt)
+        return np.asarray(out)
+
+    @staticmethod
+    def _as_history(history: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(history, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("history must be a non-empty 1-D sequence")
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

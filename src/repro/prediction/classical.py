@@ -1,0 +1,116 @@
+"""The four non-ML forecasters of Figure 6.
+
+These are "continuously fitted over requests in the last t-100 seconds
+for every T" (section 4.5.1): no offline training, each prediction is
+computed directly from the supplied history window.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+
+
+class MovingWindowAveragePredictor(Predictor):
+    """MWA: mean of the last *window* observations."""
+
+    name = "MWA"
+
+    def __init__(self, window: int = 10) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    def predict(self, history: Sequence[float]) -> float:
+        arr = self._as_history(history)
+        return float(arr[-self.window :].mean())
+
+
+class EWMAPredictor(Predictor):
+    """EWMA: exponentially weighted moving average.
+
+    This is also the predictor driving the BPred baseline (the
+    Archipelago-style proactive policy, section 5.3).
+    """
+
+    name = "EWMA"
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+
+    def predict(self, history: Sequence[float]) -> float:
+        arr = self._as_history(history)
+        level = arr[0]
+        for value in arr[1:]:
+            level = self.alpha * value + (1.0 - self.alpha) * level
+        return float(level)
+
+
+class LinearRegressionPredictor(Predictor):
+    """Linear trend extrapolation over the last *window* observations."""
+
+    name = "Linear R."
+
+    def __init__(self, window: int = 10) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+
+    def predict(self, history: Sequence[float]) -> float:
+        arr = self._as_history(history)[-self.window :]
+        n = arr.size
+        if n < 2:
+            return float(arr[-1])
+        x = np.arange(n, dtype=float)
+        design = np.vstack([x, np.ones(n)]).T
+        (slope, intercept), *_ = np.linalg.lstsq(design, arr, rcond=None)
+        return float(max(0.0, slope * n + intercept))
+
+
+class LogisticRegressionPredictor(Predictor):
+    """Saturating-growth (logistic-curve) extrapolation.
+
+    Fits ``y(t) = L / (1 + exp(-k (t - t0)))`` to the recent window by
+    gradient descent (the capacity L is pinned slightly above the window
+    max) and evaluates it one step ahead.  Captures ramp-ups that
+    saturate — but, as the paper finds, adapts poorly to spiky traces.
+    """
+
+    name = "Logistic R."
+
+    def __init__(self, window: int = 10, iters: int = 200, lr: float = 0.05) -> None:
+        if window < 3:
+            raise ValueError("window must be >= 3")
+        self.window = window
+        self.iters = iters
+        self.lr = lr
+
+    def predict(self, history: Sequence[float]) -> float:
+        arr = self._as_history(history)[-self.window :]
+        n = arr.size
+        if n < 3 or np.allclose(arr, arr[0]):
+            return float(arr[-1])
+        peak = float(arr.max())
+        cap = peak * 1.2 + 1e-9
+        x = np.arange(n, dtype=float)
+        # Initialise midpoint at the window centre, moderate steepness.
+        k, t0 = 0.5, n / 2.0
+        for _ in range(self.iters):
+            z = np.clip(k * (x - t0), -30.0, 30.0)
+            sig = 1.0 / (1.0 + np.exp(-z))
+            pred = cap * sig
+            err = pred - arr
+            common = err * cap * sig * (1.0 - sig)
+            grad_k = 2.0 * np.mean(common * (x - t0))
+            grad_t0 = 2.0 * np.mean(common * (-k))
+            k -= self.lr * grad_k / (cap**2 + 1e-9) * cap
+            t0 -= self.lr * grad_t0 / (cap + 1e-9) * n
+            k = float(np.clip(k, -5.0, 5.0))
+            t0 = float(np.clip(t0, -2.0 * n, 3.0 * n))
+        z_next = np.clip(k * (n - t0), -30.0, 30.0)
+        return float(max(0.0, cap / (1.0 + np.exp(-z_next))))

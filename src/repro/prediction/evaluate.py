@@ -1,0 +1,117 @@
+"""Predictor evaluation harness (Figure 6).
+
+Reproduces the paper's brick-by-brick comparison: ML models are
+pre-trained on the first 60% of the windowed-max arrival series (the
+paper trains on 60% of the WITS trace), then every model produces
+walk-forward one-step forecasts over the held-out 40%.  We report RMSE
+and mean per-prediction latency, the two axes of Figure 6a, plus the
+accuracy-within-tolerance summarised for Figure 6b.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+
+TRAIN_FRACTION = 0.6
+
+
+@dataclass
+class PredictorReport:
+    """Evaluation result for one model.
+
+    Attributes:
+        name: model name.
+        rmse: root-mean-squared error over the test split.
+        mae: mean absolute error.
+        mean_latency_ms: average wall-clock time per prediction call.
+        accuracy: fraction of forecasts within *tolerance* of the truth
+            (the paper reports ~85% for the LSTM on WITS).
+        predictions: the walk-forward forecasts (test-aligned).
+        actuals: ground-truth test values.
+    """
+
+    name: str
+    rmse: float
+    mae: float
+    mean_latency_ms: float
+    accuracy: float
+    predictions: np.ndarray
+    actuals: np.ndarray
+
+
+def train_test_split(
+    series: Sequence[float], train_fraction: float = TRAIN_FRACTION
+) -> tuple:
+    """Chronological split (no shuffling — this is a time series)."""
+    arr = np.asarray(series, dtype=float)
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    cut = int(len(arr) * train_fraction)
+    if cut < 2 or len(arr) - cut < 2:
+        raise ValueError("series too short for the requested split")
+    return arr[:cut], arr[cut:]
+
+
+def evaluate_predictor(
+    predictor: Predictor,
+    series: Sequence[float],
+    train_fraction: float = TRAIN_FRACTION,
+    history_window: int = 10,
+    tolerance: float = 0.2,
+) -> PredictorReport:
+    """Walk-forward evaluation of one predictor.
+
+    Args:
+        predictor: the model; :meth:`fit` is called on the train split
+            when ``predictor.trainable`` is set.
+        series: full windowed-max rate series.
+        train_fraction: chronological train share (paper: 0.6).
+        history_window: number of recent observations handed to
+            non-trainable models per call (the paper's "last t-100
+            seconds" — ten 10 s intervals).
+        tolerance: relative error counted as "accurate" for the
+            Figure 6b style accuracy metric.
+    """
+    train, test = train_test_split(series, train_fraction)
+    if predictor.trainable:
+        predictor.fit(train)
+    full = np.concatenate([train, test])
+    offset = len(train)
+    preds: List[float] = []
+    latencies: List[float] = []
+    for i in range(len(test)):
+        history = full[max(0, offset + i - history_window) : offset + i]
+        start = time.perf_counter()
+        preds.append(predictor.predict(history))
+        latencies.append((time.perf_counter() - start) * 1000.0)
+    predictions = np.asarray(preds)
+    actuals = test.copy()
+    err = predictions - actuals
+    rmse = float(np.sqrt(np.mean(err**2)))
+    mae = float(np.mean(np.abs(err)))
+    denom = np.maximum(np.abs(actuals), 1e-9)
+    accuracy = float(np.mean(np.abs(err) / denom <= tolerance))
+    return PredictorReport(
+        name=predictor.name,
+        rmse=rmse,
+        mae=mae,
+        mean_latency_ms=float(np.mean(latencies)),
+        accuracy=accuracy,
+        predictions=predictions,
+        actuals=actuals,
+    )
+
+
+def evaluate_all(
+    predictors: Sequence[Predictor],
+    series: Sequence[float],
+    **kwargs,
+) -> List[PredictorReport]:
+    """Evaluate several predictors on the same series (Figure 6a rows)."""
+    return [evaluate_predictor(p, series, **kwargs) for p in predictors]

@@ -1,0 +1,96 @@
+"""Simple feed-forward forecaster ("Simple FF." in Figure 6a).
+
+A two-layer MLP mapping the last *lookback* normalised rates to the next
+one, trained with Adam on mean-squared error.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+from repro.prediction.nn import Adam, SeriesScaler, glorot, sliding_windows
+
+
+class SimpleFeedForwardPredictor(Predictor):
+    """MLP: lookback -> hidden (tanh) -> 1."""
+
+    name = "Simple FF."
+    trainable = True
+
+    def __init__(
+        self,
+        lookback: int = 10,
+        hidden: int = 32,
+        epochs: int = 60,
+        lr: float = 5e-3,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if lookback < 1 or hidden < 1 or epochs < 1:
+            raise ValueError("lookback, hidden and epochs must be >= 1")
+        self.lookback = lookback
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self.scaler = SeriesScaler()
+        rng = np.random.default_rng(seed)
+        self.params = {
+            "w1": glorot(rng, (lookback, hidden)),
+            "b1": np.zeros(hidden),
+            "w2": glorot(rng, (hidden, 1)),
+            "b2": np.zeros(1),
+        }
+        self._trained = False
+
+    def _forward(self, x: np.ndarray) -> tuple:
+        h_pre = x @ self.params["w1"] + self.params["b1"]
+        h = np.tanh(h_pre)
+        out = h @ self.params["w2"] + self.params["b2"]
+        return out[:, 0], h
+
+    def fit(self, series: Sequence[float]) -> "SimpleFeedForwardPredictor":
+        arr = np.asarray(series, dtype=float)
+        if arr.size < self.lookback + 2:
+            raise ValueError(
+                f"series too short: need > {self.lookback + 1} points"
+            )
+        self.scaler.fit(arr)
+        scaled = self.scaler.transform(arr)
+        x, y = sliding_windows(scaled, self.lookback)
+        rng = np.random.default_rng(self.seed + 1)
+        opt = Adam(self.params, lr=self.lr)
+        n = x.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for lo in range(0, n, self.batch_size):
+                idx = order[lo : lo + self.batch_size]
+                xb, yb = x[idx], y[idx]
+                pred, h = self._forward(xb)
+                err = (pred - yb)[:, None]  # (B,1)
+                m = xb.shape[0]
+                grad_w2 = h.T @ err * (2.0 / m)
+                grad_b2 = err.mean(axis=0) * 2.0
+                dh = err @ self.params["w2"].T * (1.0 - h**2)
+                grad_w1 = xb.T @ dh * (2.0 / m)
+                grad_b1 = dh.mean(axis=0) * 2.0
+                opt.step({"w1": grad_w1, "b1": grad_b1, "w2": grad_w2, "b2": grad_b2})
+        self._trained = True
+        return self
+
+    def predict(self, history: Sequence[float]) -> float:
+        if not self._trained:
+            raise RuntimeError("predictor not trained; call fit() first")
+        arr = self._as_history(history)
+        scaled = self.scaler.transform(arr)
+        if scaled.size < self.lookback:
+            scaled = np.concatenate(
+                [np.full(self.lookback - scaled.size, scaled[0]), scaled]
+            )
+        window = scaled[-self.lookback :][None, :]
+        pred, _ = self._forward(window)
+        return max(0.0, self.scaler.inverse(float(pred[0])))

@@ -1,0 +1,228 @@
+"""LSTM load predictor — Fifer's chosen model (section 4.5).
+
+The paper trains a Keras LSTM "over 100 epochs with 2 layers, 32
+neurons, and batch size 1".  This is a from-scratch numpy implementation
+of the same architecture: a stacked LSTM with full backpropagation
+through time, a linear readout from the final hidden state, MSE loss and
+Adam with gradient clipping.  Inputs are the windowed-max arrival-rate
+series normalised to [0, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+from repro.prediction.nn import Adam, SeriesScaler, clip_gradients, glorot, sigmoid
+
+
+class _LSTMLayer:
+    """One LSTM layer with fused gate weights.
+
+    Gate layout in the fused matrix: ``[input, forget, cell, output]``.
+    """
+
+    def __init__(self, input_dim: int, hidden: int, rng: np.random.Generator) -> None:
+        self.input_dim = input_dim
+        self.hidden = hidden
+        self.w = glorot(rng, (input_dim + hidden, 4 * hidden))
+        self.b = np.zeros(4 * hidden)
+        # Forget-gate bias init at 1.0: standard trick for gradient flow.
+        self.b[hidden : 2 * hidden] = 1.0
+
+    def forward(self, xs: np.ndarray) -> Tuple[np.ndarray, List[dict]]:
+        """Run the layer over a batch of sequences.
+
+        Args:
+            xs: (B, T, input_dim) inputs.
+        Returns:
+            hs: (B, T, hidden) hidden states, plus per-step caches.
+        """
+        batch, steps, _ = xs.shape
+        h = np.zeros((batch, self.hidden))
+        c = np.zeros((batch, self.hidden))
+        hs = np.empty((batch, steps, self.hidden))
+        caches: List[dict] = []
+        hid = self.hidden
+        for t in range(steps):
+            concat = np.concatenate([xs[:, t, :], h], axis=1)
+            z = concat @ self.w + self.b
+            i = sigmoid(z[:, :hid])
+            f = sigmoid(z[:, hid : 2 * hid])
+            g = np.tanh(z[:, 2 * hid : 3 * hid])
+            o = sigmoid(z[:, 3 * hid :])
+            c_new = f * c + i * g
+            tanh_c = np.tanh(c_new)
+            h_new = o * tanh_c
+            caches.append(
+                {"concat": concat, "i": i, "f": f, "g": g, "o": o,
+                 "c_prev": c, "tanh_c": tanh_c}
+            )
+            h, c = h_new, c_new
+            hs[:, t, :] = h
+        return hs, caches
+
+    def backward(
+        self, dhs: np.ndarray, caches: List[dict]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """BPTT given upstream gradients on every hidden state.
+
+        Args:
+            dhs: (B, T, hidden) gradient w.r.t. each emitted hidden state.
+        Returns:
+            (dxs, dw, db): gradient w.r.t. layer inputs and parameters.
+        """
+        batch, steps, _ = dhs.shape
+        hid = self.hidden
+        dw = np.zeros_like(self.w)
+        db = np.zeros_like(self.b)
+        dxs = np.empty((batch, steps, self.input_dim))
+        dh_next = np.zeros((batch, hid))
+        dc_next = np.zeros((batch, hid))
+        for t in range(steps - 1, -1, -1):
+            cache = caches[t]
+            dh = dhs[:, t, :] + dh_next
+            i, f, g, o = cache["i"], cache["f"], cache["g"], cache["o"]
+            tanh_c = cache["tanh_c"]
+            do = dh * tanh_c
+            dc = dh * o * (1.0 - tanh_c**2) + dc_next
+            di = dc * g
+            dg = dc * i
+            df = dc * cache["c_prev"]
+            dc_next = dc * f
+            dz = np.concatenate(
+                [di * i * (1 - i), df * f * (1 - f),
+                 dg * (1 - g**2), do * o * (1 - o)],
+                axis=1,
+            )
+            dw += cache["concat"].T @ dz
+            db += dz.sum(axis=0)
+            dconcat = dz @ self.w.T
+            dxs[:, t, :] = dconcat[:, : self.input_dim]
+            dh_next = dconcat[:, self.input_dim :]
+        return dxs, dw, db
+
+
+class LSTMPredictor(Predictor):
+    """Stacked-LSTM one-step-ahead forecaster (the Fifer model)."""
+
+    name = "LSTM"
+    trainable = True
+
+    def __init__(
+        self,
+        lookback: int = 12,
+        hidden: int = 48,
+        layers: int = 2,
+        epochs: int = 60,
+        lr: float = 8e-3,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if lookback < 1 or hidden < 1 or layers < 1 or epochs < 1:
+            raise ValueError("lookback, hidden, layers, epochs must be >= 1")
+        self.lookback = lookback
+        self.hidden = hidden
+        self.n_layers = layers
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self.scaler = SeriesScaler()
+        rng = np.random.default_rng(seed)
+        self.layers: List[_LSTMLayer] = []
+        in_dim = 1
+        for _ in range(layers):
+            self.layers.append(_LSTMLayer(in_dim, hidden, rng))
+            in_dim = hidden
+        self.w_out = glorot(rng, (hidden, 1))
+        self.b_out = np.zeros(1)
+        self._trained = False
+        self.train_losses: List[float] = []
+
+    # -- parameter plumbing -------------------------------------------------
+
+    def _params(self) -> Dict[str, np.ndarray]:
+        params = {"w_out": self.w_out, "b_out": self.b_out}
+        for idx, layer in enumerate(self.layers):
+            params[f"w{idx}"] = layer.w
+            params[f"b{idx}"] = layer.b
+        return params
+
+    # -- forward / backward --------------------------------------------------
+
+    def _forward(self, x: np.ndarray) -> Tuple[np.ndarray, list]:
+        """x: (B, T) normalised series. Returns predictions (B,) + caches."""
+        feats = x[:, :, None]
+        all_caches = []
+        for layer in self.layers:
+            feats, caches = layer.forward(feats)
+            all_caches.append(caches)
+        final_h = feats[:, -1, :]
+        preds = (final_h @ self.w_out + self.b_out)[:, 0]
+        return preds, [all_caches, final_h, feats.shape]
+
+    def _backward(
+        self, x: np.ndarray, preds: np.ndarray, targets: np.ndarray, ctx: list
+    ) -> Dict[str, np.ndarray]:
+        all_caches, final_h, shape = ctx
+        batch, steps, hid = shape
+        derr = 2.0 * (preds - targets)[:, None] / x.shape[0]  # MSE
+        grads: Dict[str, np.ndarray] = {
+            "w_out": final_h.T @ derr,
+            "b_out": derr.sum(axis=0),
+        }
+        dhs = np.zeros((batch, steps, hid))
+        dhs[:, -1, :] = derr @ self.w_out.T
+        for idx in range(self.n_layers - 1, -1, -1):
+            layer = self.layers[idx]
+            dxs, dw, db = layer.backward(dhs, all_caches[idx])
+            grads[f"w{idx}"] = dw
+            grads[f"b{idx}"] = db
+            dhs = dxs  # gradient flowing to the layer below's hidden states
+        return grads
+
+    # -- public API -----------------------------------------------------------
+
+    def fit(self, series: Sequence[float]) -> "LSTMPredictor":
+        """Offline training on a historical windowed-max rate series."""
+        arr = np.asarray(series, dtype=float)
+        if arr.size < self.lookback + 2:
+            raise ValueError(f"series too short: need > {self.lookback + 1} points")
+        self.scaler.fit(arr)
+        scaled = self.scaler.transform(arr)
+        from repro.prediction.nn import sliding_windows
+
+        x, y = sliding_windows(scaled, self.lookback)
+        rng = np.random.default_rng(self.seed + 1)
+        opt = Adam(self._params(), lr=self.lr)
+        n = x.shape[0]
+        self.train_losses = []
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for lo in range(0, n, self.batch_size):
+                idx = order[lo : lo + self.batch_size]
+                xb, yb = x[idx], y[idx]
+                preds, ctx = self._forward(xb)
+                epoch_loss += float(np.sum((preds - yb) ** 2))
+                grads = clip_gradients(self._backward(xb, preds, yb, ctx))
+                opt.step(grads)
+            self.train_losses.append(epoch_loss / n)
+        self._trained = True
+        return self
+
+    def predict(self, history: Sequence[float]) -> float:
+        if not self._trained:
+            raise RuntimeError("predictor not trained; call fit() first")
+        arr = self._as_history(history)
+        scaled = self.scaler.transform(arr)
+        if scaled.size < self.lookback:
+            scaled = np.concatenate(
+                [np.full(self.lookback - scaled.size, scaled[0]), scaled]
+            )
+        window = scaled[-self.lookback :][None, :]
+        preds, _ = self._forward(window)
+        return max(0.0, self.scaler.inverse(float(preds[0])))

@@ -1,0 +1,98 @@
+"""Minimal neural-network building blocks (numpy only).
+
+Shared by the four ML forecasters: a min-max scaler, sliding-window
+dataset construction, and an Adam optimiser over flat parameter dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+ParamDict = Dict[str, np.ndarray]
+
+
+@dataclass
+class SeriesScaler:
+    """Scales a non-negative series into [0, 1] by its training max."""
+
+    scale: float = 1.0
+    fitted: bool = False
+
+    def fit(self, series: np.ndarray) -> "SeriesScaler":
+        peak = float(np.max(series)) if series.size else 0.0
+        self.scale = peak if peak > 0 else 1.0
+        self.fitted = True
+        return self
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        return np.asarray(series, dtype=float) / self.scale
+
+    def inverse(self, value: float) -> float:
+        return float(value) * self.scale
+
+
+def sliding_windows(series: np.ndarray, lookback: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Build (X, y) one-step-ahead pairs: X[i] = series[i:i+L], y[i] = series[i+L]."""
+    series = np.asarray(series, dtype=float)
+    if lookback < 1:
+        raise ValueError("lookback must be >= 1")
+    n = series.size - lookback
+    if n <= 0:
+        return np.empty((0, lookback)), np.empty(0)
+    x = np.lib.stride_tricks.sliding_window_view(series, lookback)[:n]
+    y = series[lookback:]
+    return x.copy(), y.copy()
+
+
+class Adam:
+    """Adam optimiser over a dict of named parameter arrays."""
+
+    def __init__(self, params: ParamDict, lr: float = 1e-2,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8) -> None:
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = {k: np.zeros_like(v) for k, v in params.items()}
+        self._v = {k: np.zeros_like(v) for k, v in params.items()}
+        self._t = 0
+
+    def step(self, grads: ParamDict) -> None:
+        """Apply one update; *grads* must mirror the parameter dict."""
+        self._t += 1
+        for key, grad in grads.items():
+            if key not in self.params:
+                raise KeyError(f"gradient for unknown parameter {key!r}")
+            m = self._m[key] = self.beta1 * self._m[key] + (1 - self.beta1) * grad
+            v = self._v[key] = self.beta2 * self._v[key] + (1 - self.beta2) * grad**2
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            self.params[key] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_gradients(grads: ParamDict, max_norm: float = 5.0) -> ParamDict:
+    """Global-norm gradient clipping (standard for RNN training)."""
+    total = np.sqrt(sum(float(np.sum(g**2)) for g in grads.values()))
+    if total > max_norm and total > 0:
+        factor = max_norm / total
+        return {k: g * factor for k, g in grads.items()}
+    return grads
+
+
+def glorot(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    return np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0.0)

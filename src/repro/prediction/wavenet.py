@@ -1,0 +1,192 @@
+"""WaveNet-style forecaster ("WeaveNet" in Figure 6a).
+
+A stack of dilated causal convolutions (kernel size 2, dilations
+1, 2, 4, ...) with gated activations, residual connections and skip
+connections, read out from the final timestep — the standard WaveNet
+block adapted to one-step-ahead rate forecasting, in pure numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+from repro.prediction.nn import Adam, SeriesScaler, clip_gradients, glorot, sigmoid, sliding_windows
+
+
+class WaveNetPredictor(Predictor):
+    """Dilated causal CNN over the last *lookback* observations."""
+
+    name = "WeaveNet"
+    trainable = True
+
+    def __init__(
+        self,
+        lookback: int = 16,
+        channels: int = 16,
+        dilations: Tuple[int, ...] = (1, 2, 4, 8),
+        epochs: int = 50,
+        lr: float = 5e-3,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if lookback <= max(dilations):
+            raise ValueError("lookback must exceed the largest dilation")
+        self.lookback = lookback
+        self.channels = channels
+        self.dilations = tuple(dilations)
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self.scaler = SeriesScaler()
+        rng = np.random.default_rng(seed)
+        c = channels
+        self.params: Dict[str, np.ndarray] = {
+            "w_in": glorot(rng, (1, c)),
+            "b_in": np.zeros(c),
+            "w_out": glorot(rng, (c, 1)),
+            "b_out": np.zeros(1),
+        }
+        for idx, _ in enumerate(self.dilations):
+            # Filter (f) and gate (g) each see the current and the
+            # d-steps-back channel vectors.
+            self.params[f"wf_cur{idx}"] = glorot(rng, (c, c))
+            self.params[f"wf_past{idx}"] = glorot(rng, (c, c))
+            self.params[f"bf{idx}"] = np.zeros(c)
+            self.params[f"wg_cur{idx}"] = glorot(rng, (c, c))
+            self.params[f"wg_past{idx}"] = glorot(rng, (c, c))
+            self.params[f"bg{idx}"] = np.zeros(c)
+            self.params[f"w_res{idx}"] = glorot(rng, (c, c))
+            self.params[f"w_skip{idx}"] = glorot(rng, (c, c))
+        self._trained = False
+
+    # -- forward ---------------------------------------------------------
+
+    @staticmethod
+    def _shift(x: np.ndarray, d: int) -> np.ndarray:
+        """Causal shift along the time axis by *d* steps (zero-padded)."""
+        out = np.zeros_like(x)
+        if d < x.shape[1]:
+            out[:, d:, :] = x[:, : x.shape[1] - d, :]
+        return out
+
+    def _forward(self, x: np.ndarray) -> Tuple[np.ndarray, dict]:
+        """x: (B, T) normalised. Returns predictions (B,) and caches."""
+        p = self.params
+        feats = np.tanh(x[:, :, None] @ p["w_in"] + p["b_in"])  # (B,T,C)
+        cache: dict = {"x": x, "feats_in": feats, "layers": []}
+        skip_sum = np.zeros_like(feats)
+        cur = feats
+        for idx, d in enumerate(self.dilations):
+            past = self._shift(cur, d)
+            zf = cur @ p[f"wf_cur{idx}"] + past @ p[f"wf_past{idx}"] + p[f"bf{idx}"]
+            zg = cur @ p[f"wg_cur{idx}"] + past @ p[f"wg_past{idx}"] + p[f"bg{idx}"]
+            tf_ = np.tanh(zf)
+            sg = sigmoid(zg)
+            gated = tf_ * sg
+            nxt = cur + gated @ p[f"w_res{idx}"]
+            skip_sum = skip_sum + gated @ p[f"w_skip{idx}"]
+            cache["layers"].append(
+                {"cur": cur, "past": past, "tf": tf_, "sg": sg, "gated": gated, "d": d}
+            )
+            cur = nxt
+        final = skip_sum[:, -1, :]  # readout from last timestep
+        cache["final"] = final
+        preds = (final @ p["w_out"] + p["b_out"])[:, 0]
+        return preds, cache
+
+    # -- backward ----------------------------------------------------------
+
+    @staticmethod
+    def _unshift(dx: np.ndarray, d: int) -> np.ndarray:
+        """Adjoint of :meth:`_shift`."""
+        out = np.zeros_like(dx)
+        if d < dx.shape[1]:
+            out[:, : dx.shape[1] - d, :] = dx[:, d:, :]
+        return out
+
+    def _backward(
+        self, preds: np.ndarray, targets: np.ndarray, cache: dict
+    ) -> Dict[str, np.ndarray]:
+        p = self.params
+        batch = preds.shape[0]
+        derr = 2.0 * (preds - targets)[:, None] / batch
+        grads: Dict[str, np.ndarray] = {
+            "w_out": cache["final"].T @ derr,
+            "b_out": derr.sum(axis=0),
+        }
+        dskip_last = derr @ p["w_out"].T  # (B, C) at last timestep only
+        dskip = np.zeros_like(cache["feats_in"])
+        dskip[:, -1, :] = dskip_last
+        dcur = np.zeros_like(cache["feats_in"])
+        for idx in range(len(self.dilations) - 1, -1, -1):
+            layer = cache["layers"][idx]
+            cur, past = layer["cur"], layer["past"]
+            tf_, sg, gated = layer["tf"], layer["sg"], layer["gated"]
+            d = layer["d"]
+            # dcur currently holds gradient on this layer's *output*.
+            dgated = dcur @ p[f"w_res{idx}"].T + dskip @ p[f"w_skip{idx}"].T
+            grads[f"w_res{idx}"] = np.einsum("btc,btd->cd", gated, dcur)
+            grads[f"w_skip{idx}"] = np.einsum("btc,btd->cd", gated, dskip)
+            dtf = dgated * sg
+            dsg = dgated * tf_
+            dzf = dtf * (1.0 - tf_**2)
+            dzg = dsg * sg * (1.0 - sg)
+            grads[f"wf_cur{idx}"] = np.einsum("btc,btd->cd", cur, dzf)
+            grads[f"wf_past{idx}"] = np.einsum("btc,btd->cd", past, dzf)
+            grads[f"bf{idx}"] = dzf.sum(axis=(0, 1))
+            grads[f"wg_cur{idx}"] = np.einsum("btc,btd->cd", cur, dzg)
+            grads[f"wg_past{idx}"] = np.einsum("btc,btd->cd", past, dzg)
+            grads[f"bg{idx}"] = dzg.sum(axis=(0, 1))
+            dcur_new = (
+                dcur  # residual path
+                + dzf @ p[f"wf_cur{idx}"].T
+                + dzg @ p[f"wg_cur{idx}"].T
+                + self._unshift(dzf @ p[f"wf_past{idx}"].T, d)
+                + self._unshift(dzg @ p[f"wg_past{idx}"].T, d)
+            )
+            dcur = dcur_new
+            # skip gradient propagates unchanged to lower layers' skip adds
+        dfeats = dcur
+        feats_in = cache["feats_in"]
+        dz_in = dfeats * (1.0 - feats_in**2)
+        grads["w_in"] = np.einsum("bt,btd->d", cache["x"], dz_in)[None, :]
+        grads["b_in"] = dz_in.sum(axis=(0, 1))
+        return grads
+
+    # -- public API --------------------------------------------------------
+
+    def fit(self, series: Sequence[float]) -> "WaveNetPredictor":
+        arr = np.asarray(series, dtype=float)
+        if arr.size < self.lookback + 2:
+            raise ValueError(f"series too short: need > {self.lookback + 1} points")
+        self.scaler.fit(arr)
+        scaled = self.scaler.transform(arr)
+        x, y = sliding_windows(scaled, self.lookback)
+        rng = np.random.default_rng(self.seed + 1)
+        opt = Adam(self.params, lr=self.lr)
+        n = x.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for lo in range(0, n, self.batch_size):
+                idx = order[lo : lo + self.batch_size]
+                preds, cache = self._forward(x[idx])
+                grads = clip_gradients(self._backward(preds, y[idx], cache))
+                opt.step(grads)
+        self._trained = True
+        return self
+
+    def predict(self, history: Sequence[float]) -> float:
+        if not self._trained:
+            raise RuntimeError("predictor not trained; call fit() first")
+        arr = self._as_history(history)
+        scaled = self.scaler.transform(arr)
+        if scaled.size < self.lookback:
+            scaled = np.concatenate(
+                [np.full(self.lookback - scaled.size, scaled[0]), scaled]
+            )
+        preds, _ = self._forward(scaled[-self.lookback :][None, :])
+        return max(0.0, self.scaler.inverse(float(preds[0])))

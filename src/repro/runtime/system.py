@@ -1,0 +1,402 @@
+"""The end-to-end serverless platform simulation.
+
+:class:`ServerlessSystem` assembles the substrates — event engine,
+cluster, function pools, state store, scalers, predictor, metrics — into
+the system of Figure 5 and executes an arrival trace under one of the
+five resource-management policies.
+
+The request path mirrors the paper's prototype: a job (function-chain
+invocation) arrives at the scheduler, each stage's task enters that
+function's global queue, the dispatcher packs tasks into containers
+greedily, the per-stage load monitors feed the load balancer, and the
+proactive predictor pre-spawns containers every monitoring interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.coldstart import ColdStartModel
+from repro.cluster.energy import EnergyMeter, NodePowerModel
+from repro.core.policies import RMConfig
+from repro.core.scaling import HPAScaler, ProactiveScaler, ReactiveScaler, static_pool_sizes
+from repro.core.slack import (
+    build_stage_plan,
+    function_batch_sizes,
+    function_response_ms,
+    function_slack_ms,
+)
+from repro.metrics.collector import MetricsCollector, RunResult
+from repro.prediction.base import Predictor
+from repro.prediction.classical import EWMAPredictor, MovingWindowAveragePredictor
+from repro.prediction.windowed import WindowedMaxSampler
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.traces.base import ArrivalTrace
+from repro.workflow.job import Job, Task
+from repro.workflow.pool import FunctionPool
+from repro.workflow.statestore import StateStore
+from repro.workloads.mixes import WorkloadMix
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Cluster dimensions (prototype default: 80 compute cores)."""
+
+    n_nodes: int = 5
+    cores_per_node: float = 16.0
+    memory_per_node_mb: float = 192 * 1024.0
+
+    @property
+    def total_cores(self) -> float:
+        return self.n_nodes * self.cores_per_node
+
+
+#: Predictors the system can construct itself (no offline training).
+_UNTRAINED_PREDICTORS = {
+    "ewma": EWMAPredictor,
+    "mwa": MovingWindowAveragePredictor,
+}
+
+
+class ServerlessSystem:
+    """One policy + workload mix bound to a cluster, ready to run."""
+
+    def __init__(
+        self,
+        config: RMConfig,
+        mix: WorkloadMix,
+        cluster_spec: ClusterSpec = ClusterSpec(),
+        predictor: Optional[Predictor] = None,
+        cold_start_model: Optional[ColdStartModel] = None,
+        power_model: Optional[NodePowerModel] = None,
+        seed: int = 0,
+        drain_ms: float = 120_000.0,
+        shared_cluster: Optional[Cluster] = None,
+        sample_energy: bool = True,
+        input_scale_sampler: Optional[Callable[[np.random.Generator], float]] = None,
+    ) -> None:
+        self.config = config
+        self.mix = mix
+        self.cluster_spec = cluster_spec
+        self.seed = seed
+        self.drain_ms = drain_ms
+        self.shared_cluster = shared_cluster
+        self.sample_energy = sample_energy
+        #: Per-job payload-size sampler (section 2.2.2: execution scales
+        #: linearly with input size).  None pins every job to scale 1.0,
+        #: the fixed-input setting of the paper's experiments.
+        self.input_scale_sampler = input_scale_sampler
+        self.cold_start_model = cold_start_model or ColdStartModel()
+        self.power_model = power_model or NodePowerModel()
+        self.predictor = self._resolve_predictor(predictor)
+        # Offline step: per-application stage plans (slack, batch sizes).
+        self.plans = {
+            app.name: build_stage_plan(
+                app,
+                division=config.slack_division,
+                max_batch=config.max_batch,
+                batching=config.batching,
+            )
+            for app in mix.applications
+        }
+        self.batch_sizes = function_batch_sizes(self.plans.values())
+        if config.fixed_batch_size is not None:
+            # App-agnostic fixed batch (the HPA baseline's fixed target).
+            self.batch_sizes = {
+                name: config.fixed_batch_size for name in self.batch_sizes
+            }
+        self.stage_slacks = function_slack_ms(self.plans.values())
+        self.stage_responses = function_response_ms(self.plans.values())
+        self.stage_shares = self._stage_shares()
+        # Populated by run().
+        self.sim: Optional[Simulator] = None
+        self.pools: Dict[str, FunctionPool] = {}
+        self.store = StateStore(seed=seed)
+
+    def _resolve_predictor(self, predictor: Optional[Predictor]) -> Optional[Predictor]:
+        wanted = self.config.proactive_predictor
+        if wanted is None:
+            return None
+        if predictor is not None:
+            return predictor
+        factory = _UNTRAINED_PREDICTORS.get(wanted.lower())
+        if factory is None:
+            raise ValueError(
+                f"policy {self.config.name!r} needs a pre-trained "
+                f"{wanted!r} predictor; pass predictor= explicitly"
+            )
+        return factory()
+
+    def _stage_shares(self) -> Dict[str, float]:
+        """Fraction of arriving jobs whose chain includes each function."""
+        shares: Dict[str, float] = {}
+        for app, weight in zip(self.mix.applications, self.mix.weights):
+            for svc in app.stages:
+                shares[svc.name] = shares.get(svc.name, 0.0) + weight
+        return shares
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _build(self, sim: Simulator) -> None:
+        self.sim = sim
+        if self.shared_cluster is not None:
+            # Multi-tenant deployment: tenants share one physical
+            # cluster (pools stay isolated per the paper's footnote 4).
+            self.cluster = self.shared_cluster
+        else:
+            self.cluster = Cluster(
+                n_nodes=self.cluster_spec.n_nodes,
+                cores_per_node=self.cluster_spec.cores_per_node,
+                memory_per_node_mb=self.cluster_spec.memory_per_node_mb,
+                policy=self.config.placement,
+            )
+        self._rng_apps = np.random.default_rng(self.seed)
+        self._rng_exec = np.random.default_rng(self.seed + 1)
+        self.sampler = WindowedMaxSampler(
+            interval_ms=self.config.monitor_interval_ms
+        )
+        self.energy_meter = EnergyMeter(
+            model=self.power_model, interval_ms=self.config.monitor_interval_ms
+        )
+        self.metrics = MetricsCollector(self.energy_meter)
+        self.pools = {}
+        for name in self.mix.function_names():
+            svc = self._service(name)
+            self.pools[name] = FunctionPool(
+                sim=sim,
+                service=svc,
+                cluster=self.cluster,
+                batch_size=self.batch_sizes[name],
+                stage_slack_ms=self.stage_slacks[name],
+                stage_response_ms=self.stage_responses[name],
+                scheduling=self.config.scheduling,
+                cold_start=self.cold_start_model,
+                rng=self._rng_exec,
+                on_task_finished=self._on_task_finished,
+                spawn_on_demand=self.config.spawn_on_demand,
+                reap_exempt=self.config.static_pool,
+                delay_window_ms=self.config.monitor_interval_ms,
+                single_use=self.config.single_use,
+            )
+            self.store.insert(
+                "stages",
+                name,
+                {
+                    "batch_size": self.batch_sizes[name],
+                    "slack_ms": self.stage_slacks[name],
+                    "response_ms": self.stage_responses[name],
+                },
+            )
+        for pool in self.pools.values():
+            pool.reclaim_callback = self._reclaim_idle_capacity
+        self.reactive = (
+            ReactiveScaler(self.pools) if self.config.reactive else None
+        )
+        self.hpa = (
+            HPAScaler(
+                self.pools,
+                target_concurrency=self.config.hpa_target_concurrency,
+            )
+            if self.config.hpa
+            else None
+        )
+        self.proactive = (
+            ProactiveScaler(
+                pools=self.pools,
+                predictor=self.predictor,
+                sampler=self.sampler,
+                stage_shares=self.stage_shares,
+                utilization_target=self.config.utilization_target,
+            )
+            if self.predictor is not None
+            else None
+        )
+
+    def _service(self, name: str):
+        for app in self.mix.applications:
+            for svc in app.stages:
+                if svc.name == name:
+                    return svc
+        raise KeyError(name)
+
+    # -- request path -----------------------------------------------------------
+
+    def _on_arrival(self) -> None:
+        assert self.sim is not None
+        now = self.sim.now
+        app = self.mix.sample_application(self._rng_apps)
+        scale = (
+            self.input_scale_sampler(self._rng_apps)
+            if self.input_scale_sampler is not None
+            else 1.0
+        )
+        job = Job(app=app, arrival_ms=now, input_scale=scale)
+        self.metrics.record_job_created()
+        self.sampler.record(now)
+        self.store.insert(
+            "jobs", job.job_id, {"app": app.name, "creationTime": now}
+        )
+        # Ingress hop: the transition overhead precedes every stage.
+        self.sim.schedule(
+            app.transition_overhead_ms,
+            lambda: self._enqueue_stage(job, 0),
+            label="ingress",
+        )
+
+    def _enqueue_stage(self, job: Job, stage_index: int) -> None:
+        task = Task(job=job, stage_index=stage_index, enqueue_ms=self.sim.now)
+        self.pools[task.function].enqueue(task)
+
+    def _on_task_finished(self, task: Task) -> None:
+        job = task.job
+        if task.is_last_stage:
+            job.completion_ms = self.sim.now
+            self.metrics.record_job_completed(job)
+            self.store.update(
+                "jobs", job.job_id, {"completionTime": self.sim.now}
+            )
+        else:
+            next_stage = task.stage_index + 1
+            self.sim.schedule(
+                job.app.transition_overhead_ms,
+                lambda: self._enqueue_stage(job, next_stage),
+                label="transition",
+            )
+
+    def _reclaim_idle_capacity(self) -> bool:
+        """Free one idle container cluster-wide under placement pressure.
+
+        Models the platform reclaiming the longest-idle warm sandbox
+        when a spawn cannot be placed (so one hot stage cannot starve
+        the rest of the chain forever).  Prefers the pool holding the
+        most idle capacity.
+        """
+        candidates = sorted(
+            self.pools.values(),
+            key=lambda p: sum(1 for c in p.containers if c.is_reapable),
+            reverse=True,
+        )
+        for pool in candidates:
+            if pool.reap_exempt:
+                continue
+            if pool.reclaim_one_idle():
+                return True
+        return False
+
+    # -- periodic machinery --------------------------------------------------------
+
+    def _tick_monitor(self, now_ms: float) -> None:
+        if self.reactive is not None:
+            self.reactive.tick(now_ms)
+        if self.hpa is not None:
+            self.hpa.tick(now_ms)
+        if self.proactive is not None:
+            self.proactive.tick(now_ms)
+        if not self.config.static_pool:
+            for pool in self.pools.values():
+                pool.reap_idle(self.config.idle_timeout_ms)
+        self.metrics.sample(
+            self.pools, self.cluster.nodes, now_ms,
+            sample_energy=self.sample_energy,
+        )
+
+    # -- execution -------------------------------------------------------------------
+
+    def attach(self, sim: Simulator, trace: ArrivalTrace) -> PeriodicProcess:
+        """Wire this system into *sim*: build pools, schedule the
+        trace's arrivals, pre-warm steady-state capacity and start the
+        monitor.  Returns the monitor process (caller stops it)."""
+        self._build(sim)
+        self._trace_name = trace.name
+        for t in trace.arrivals_ms:
+            sim.schedule_at(float(t), self._on_arrival, label="arrival")
+        # Start from steady state: warm capacity for the trace's opening
+        # rate already exists (for SBatch, its full static pool).  A cold
+        # platform would otherwise hand every policy an identical
+        # t=0 spawn storm that the paper's long-running testbed never sees.
+        if self.config.static_pool:
+            rate = trace.mean_rate_rps
+        else:
+            opening = trace.rate_series(10_000.0)
+            rate = float(opening[:6].mean()) if opening.size else 0.0
+        sizes = static_pool_sizes(
+            self.pools,
+            rate,
+            self.stage_shares,
+            utilization_target=self.config.utilization_target,
+        )
+        for name, n in sizes.items():
+            self.pools[name].prewarm(n)
+        return PeriodicProcess(
+            sim,
+            self.config.monitor_interval_ms,
+            self._tick_monitor,
+            label="monitor",
+        )
+
+    @property
+    def all_jobs_done(self) -> bool:
+        return self.metrics.jobs_created <= len(self.metrics.completed_jobs)
+
+    def finalize(self) -> RunResult:
+        """Collect this system's RunResult after the simulation ended."""
+        assert self.sim is not None, "attach() must run first"
+        return self.metrics.finalize(
+            policy=self.config.name,
+            mix=self.mix.name,
+            trace=getattr(self, "_trace_name", "trace"),
+            duration_ms=self.sim.now,
+            pools=self.pools,
+        )
+
+    def run(self, trace: ArrivalTrace) -> RunResult:
+        """Simulate *trace* end to end and return the metrics."""
+        sim = Simulator()
+        monitor = self.attach(sim, trace)
+        horizon = trace.duration_ms + 1.0
+        sim.run(until=horizon)
+        # Drain: let in-flight jobs finish (bounded).
+        drained_until = horizon
+        while not self.all_jobs_done and drained_until < horizon + self.drain_ms:
+            drained_until += self.config.monitor_interval_ms
+            sim.run(until=drained_until)
+        monitor.stop()
+        return self.finalize()
+
+
+def run_policy(
+    policy_name: str,
+    mix: WorkloadMix,
+    trace: ArrivalTrace,
+    cluster_spec: ClusterSpec = ClusterSpec(),
+    predictor: Optional[Predictor] = None,
+    seed: int = 0,
+    drain_ms: float = 120_000.0,
+    cold_start_model: Optional[ColdStartModel] = None,
+    power_model: Optional[NodePowerModel] = None,
+    **config_overrides,
+) -> RunResult:
+    """Convenience one-call runner used by examples and benches.
+
+    Keyword arguments not consumed here override fields of the named
+    policy's :class:`~repro.core.policies.RMConfig`.
+    """
+    from repro.core.policies import make_policy_config
+
+    config = make_policy_config(policy_name, **config_overrides)
+    system = ServerlessSystem(
+        config=config,
+        mix=mix,
+        cluster_spec=cluster_spec,
+        predictor=predictor,
+        cold_start_model=cold_start_model,
+        power_model=power_model,
+        seed=seed,
+        drain_ms=drain_ms,
+    )
+    return system.run(trace)

@@ -1,0 +1,66 @@
+"""Recurring simulation processes.
+
+The Fifer design is full of fixed-interval activities — the 10 s load
+monitor, the proactive predictor tick, idle-container reaping — so the
+engine provides a small cancellable periodic-process helper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class PeriodicProcess:
+    """Invokes ``body(now)`` every ``interval`` ms until stopped.
+
+    The first invocation happens at ``start_after`` ms from creation
+    (default: one full interval).  The body runs *before* the next tick is
+    scheduled, so a body that calls :meth:`stop` halts cleanly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        body: Callable[[float], None],
+        *,
+        start_after: Optional[float] = None,
+        priority: int = 0,
+        label: str = "periodic",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._body = body
+        self._priority = priority
+        self._label = label
+        self._stopped = False
+        self.ticks = 0
+        delay = interval if start_after is None else start_after
+        self._next: Optional[Event] = sim.schedule(
+            delay, self._tick, priority=priority, label=label
+        )
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.ticks += 1
+        self._body(self._sim.now)
+        if not self._stopped:
+            self._next = self._sim.schedule(
+                self._interval, self._tick, priority=self._priority, label=self._label
+            )
+
+    def stop(self) -> None:
+        """Stop the process; pending tick (if any) is cancelled."""
+        self._stopped = True
+        if self._next is not None and not self._next.cancelled:
+            self._sim.cancel(self._next)
+        self._next = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

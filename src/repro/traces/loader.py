@@ -1,0 +1,97 @@
+"""Trace persistence and import.
+
+Real deployments replay recorded traces; this module round-trips
+:class:`~repro.traces.base.ArrivalTrace` objects through simple durable
+formats so externally captured arrival logs (one timestamp per line, or
+a rate profile CSV) drive the simulator directly:
+
+* ``save_trace`` / ``load_trace`` — compressed ``.npz`` with arrivals
+  and (optionally) the generating rate profile.
+* ``load_arrivals_csv`` — one arrival timestamp (ms) per line.
+* ``load_rate_profile_csv`` — ``time_ms,rate_rps`` rows; sample
+  arrivals from it via :func:`repro.traces.base.trace_from_profile`.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.traces.base import ArrivalTrace, RateProfile
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_trace(trace: ArrivalTrace, path: PathLike) -> None:
+    """Persist *trace* (and its profile, when present) as ``.npz``."""
+    path = pathlib.Path(path)
+    payload = {"arrivals_ms": trace.arrivals_ms, "name": np.array(trace.name)}
+    if trace.profile is not None:
+        payload["profile_times_ms"] = trace.profile.times_ms
+        payload["profile_rates_rps"] = trace.profile.rates_rps
+    np.savez_compressed(path, **payload)
+
+
+def load_trace(path: PathLike) -> ArrivalTrace:
+    """Load a trace previously written by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        arrivals = data["arrivals_ms"]
+        name = str(data["name"])
+        profile: Optional[RateProfile] = None
+        if "profile_times_ms" in data:
+            profile = RateProfile(
+                data["profile_times_ms"], data["profile_rates_rps"]
+            )
+    return ArrivalTrace(arrivals, name=name, profile=profile)
+
+
+def load_arrivals_csv(path: PathLike, name: Optional[str] = None) -> ArrivalTrace:
+    """Read one arrival timestamp (milliseconds) per line.
+
+    Blank lines and ``#`` comments are skipped; an optional single
+    header row (non-numeric) is tolerated.
+    """
+    path = pathlib.Path(path)
+    values = []
+    with path.open() as handle:
+        for lineno, raw in enumerate(handle, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                values.append(float(line.split(",")[0]))
+            except ValueError:
+                if lineno == 1:
+                    continue  # header
+                raise ValueError(
+                    f"{path}:{lineno}: not a timestamp: {line!r}"
+                ) from None
+    return ArrivalTrace(np.asarray(values), name=name or path.stem)
+
+
+def load_rate_profile_csv(path: PathLike) -> RateProfile:
+    """Read ``time_ms,rate_rps`` rows into a :class:`RateProfile`."""
+    path = pathlib.Path(path)
+    times, rates = [], []
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        for lineno, row in enumerate(reader, 1):
+            if not row or row[0].strip().startswith("#"):
+                continue
+            try:
+                times.append(float(row[0]))
+                rates.append(float(row[1]))
+            except (ValueError, IndexError):
+                if lineno == 1:
+                    continue  # header
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'time_ms,rate_rps', "
+                    f"got {row!r}"
+                ) from None
+    if not times:
+        raise ValueError(f"{path}: no rate rows found")
+    return RateProfile(np.asarray(times), np.asarray(rates))

@@ -1,0 +1,83 @@
+"""Homogeneous Poisson arrivals (the prototype experiments' trace).
+
+The paper's real-system evaluation (section 6.1) drives the cluster with
+a synthetic Poisson arrival process with an average rate of
+``lambda = 50`` requests/second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.base import ArrivalTrace, RateProfile
+
+DEFAULT_RATE_RPS = 50.0
+
+
+def poisson_trace(
+    rate_rps: float = DEFAULT_RATE_RPS,
+    duration_s: float = 300.0,
+    seed: int = 0,
+) -> ArrivalTrace:
+    """Generate a Poisson arrival trace.
+
+    Args:
+        rate_rps: average request rate in requests/second.
+        duration_s: trace length in seconds.
+        seed: RNG seed (deterministic output).
+    """
+    if rate_rps < 0:
+        raise ValueError("rate must be non-negative")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    duration_ms = duration_s * 1000.0
+    rng = np.random.default_rng(seed)
+    if rate_rps == 0:
+        arrivals = np.empty(0)
+    else:
+        rate_per_ms = rate_rps / 1000.0
+        expected = duration_ms * rate_per_ms
+        n_draw = int(expected + 6 * np.sqrt(expected + 1) + 16)
+        gaps = rng.exponential(1.0 / rate_per_ms, size=n_draw)
+        arrivals = np.cumsum(gaps)
+        while arrivals.size and arrivals[-1] < duration_ms:
+            more = rng.exponential(1.0 / rate_per_ms, size=n_draw)
+            arrivals = np.concatenate([arrivals, arrivals[-1] + np.cumsum(more)])
+        arrivals = arrivals[arrivals < duration_ms]
+    profile = RateProfile(np.array([0.0]), np.array([rate_rps]))
+    return ArrivalTrace(arrivals, name=f"poisson-{rate_rps:g}rps", profile=profile)
+
+
+def step_poisson_trace(
+    mean_rate_rps: float = DEFAULT_RATE_RPS,
+    duration_s: float = 600.0,
+    step_every_s: float = 60.0,
+    variation: float = 0.6,
+    seed: int = 0,
+) -> ArrivalTrace:
+    """Poisson arrivals whose rate steps randomly around the mean.
+
+    The prototype evaluation drives the cluster with a synthetic
+    Poisson-based arrival process of *average* rate lambda = 50 req/s;
+    the interesting RM behaviour (reactive vs proactive provisioning)
+    only manifests when the instantaneous rate fluctuates, so this
+    generator draws a new rate uniformly from
+    ``mean * [1 - variation, 1 + variation]`` every *step_every_s*
+    seconds and renormalises the profile back to the requested mean.
+    """
+    if not 0.0 <= variation < 1.0:
+        raise ValueError("variation must be in [0, 1)")
+    if step_every_s <= 0 or duration_s <= 0:
+        raise ValueError("durations must be positive")
+    rng = np.random.default_rng(seed)
+    n_steps = max(1, int(np.ceil(duration_s / step_every_s)))
+    rates = mean_rate_rps * rng.uniform(1.0 - variation, 1.0 + variation, n_steps)
+    rates = rates * (mean_rate_rps / rates.mean())
+    times_ms = np.arange(n_steps) * step_every_s * 1000.0
+    profile = RateProfile(times_ms, rates)
+    arrivals = profile.sample_arrivals(duration_s * 1000.0, rng)
+    return ArrivalTrace(
+        arrivals,
+        name=f"step-poisson-{mean_rate_rps:g}rps",
+        profile=profile,
+    )

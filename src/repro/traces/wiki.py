@@ -1,0 +1,72 @@
+"""Wikipedia-like arrival trace (Figure 7b of the paper).
+
+The Wikipedia trace used by Fifer (Urdaneta et al., "Wikipedia workload
+analysis for decentralized hosting") exhibits:
+
+* a high average rate (~1500 req/s in the paper's scaling),
+* strong diurnal periodicity (hour-of-day) plus a weekly harmonic,
+* moderate noise, *without* flash-crowd spikes — i.e. a predictable,
+  recurring pattern that favours learned predictors.
+
+``wiki_rate_profile`` synthesises that shape: a base rate modulated by a
+day-period sinusoid, a half-day harmonic and small lognormal noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.base import ArrivalTrace, RateProfile, trace_from_profile
+
+DEFAULT_AVG_RPS = 1500.0
+#: The paper's trace spans ~6000 minutes; a scaled-down default keeps
+#: simulated runs tractable while preserving several diurnal periods.
+DEFAULT_DURATION_S = 2400.0
+#: Compressed "day" so the default duration contains multiple periods.
+DEFAULT_PERIOD_S = 600.0
+
+
+def wiki_rate_profile(
+    avg_rps: float = DEFAULT_AVG_RPS,
+    duration_s: float = DEFAULT_DURATION_S,
+    period_s: float = DEFAULT_PERIOD_S,
+    bucket_s: float = 5.0,
+    noise: float = 0.05,
+    seed: int = 7,
+) -> RateProfile:
+    """Diurnal rate profile with half-period harmonic and mild noise.
+
+    The modulation keeps the peak-to-mean ratio near the published Wiki
+    trace (~1.5x) and never drops below 25% of the average.
+    """
+    if avg_rps <= 0 or duration_s <= 0 or period_s <= 0 or bucket_s <= 0:
+        raise ValueError("avg_rps, duration_s, period_s, bucket_s must be positive")
+    rng = np.random.default_rng(seed)
+    n = max(1, int(np.ceil(duration_s / bucket_s)))
+    t = np.arange(n) * bucket_s
+    day = 2 * np.pi * t / period_s
+    week = 2 * np.pi * t / (7 * period_s)
+    shape = (
+        1.0
+        + 0.45 * np.sin(day - np.pi / 2)
+        + 0.12 * np.sin(2 * day)
+        + 0.08 * np.sin(week)
+    )
+    if noise > 0:
+        shape = shape * rng.lognormal(mean=0.0, sigma=noise, size=n)
+    shape = np.maximum(shape, 0.25)
+    rates = avg_rps * shape / shape.mean()
+    return RateProfile(t * 1000.0, rates)
+
+
+def wiki_trace(
+    avg_rps: float = DEFAULT_AVG_RPS,
+    duration_s: float = DEFAULT_DURATION_S,
+    period_s: float = DEFAULT_PERIOD_S,
+    seed: int = 7,
+) -> ArrivalTrace:
+    """Sample a Wikipedia-like arrival trace (see module docstring)."""
+    profile = wiki_rate_profile(
+        avg_rps=avg_rps, duration_s=duration_s, period_s=period_s, seed=seed
+    )
+    return trace_from_profile(profile, duration_s * 1000.0, seed=seed, name="wiki")

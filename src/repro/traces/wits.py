@@ -1,0 +1,90 @@
+"""WITS-like arrival trace (Figure 7a of the paper).
+
+The WITS (Waikato Internet Traffic Storage) trace used by Fifer has a
+moderate average rate (~300 req/s) punctured by *unpredictable* flash
+crowds peaking around 1200 req/s — a peak-to-median ratio of about 5x
+(section 6.2).  Unlike the Wiki trace there is no clean periodicity, so
+reactive schedulers suffer cold-start storms on every spike.
+
+``wits_rate_profile`` synthesises that shape: an Ornstein-Uhlenbeck-like
+wandering baseline plus randomly placed triangular burst episodes whose
+heights are drawn heavy-tailed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.base import ArrivalTrace, RateProfile, trace_from_profile
+
+DEFAULT_AVG_RPS = 300.0
+DEFAULT_PEAK_RPS = 1200.0
+DEFAULT_DURATION_S = 2400.0
+
+
+def wits_rate_profile(
+    avg_rps: float = DEFAULT_AVG_RPS,
+    peak_rps: float = DEFAULT_PEAK_RPS,
+    duration_s: float = DEFAULT_DURATION_S,
+    bucket_s: float = 5.0,
+    burst_every_s: float = 240.0,
+    seed: int = 11,
+) -> RateProfile:
+    """Bursty, aperiodic rate profile with flash crowds.
+
+    Args:
+        avg_rps: target long-run average rate.
+        peak_rps: approximate maximum rate reached by the largest bursts.
+        duration_s: profile length in seconds.
+        bucket_s: resolution of the piecewise-constant profile.
+        burst_every_s: mean spacing between flash-crowd episodes.
+        seed: RNG seed.
+    """
+    if avg_rps <= 0 or peak_rps <= avg_rps:
+        raise ValueError("need 0 < avg_rps < peak_rps")
+    if duration_s <= 0 or bucket_s <= 0 or burst_every_s <= 0:
+        raise ValueError("durations must be positive")
+    rng = np.random.default_rng(seed)
+    n = max(1, int(np.ceil(duration_s / bucket_s)))
+    t = np.arange(n) * bucket_s
+
+    # Wandering baseline: AR(1) in log-space around the median rate.
+    base_level = avg_rps * 0.8
+    log_dev = np.zeros(n)
+    for i in range(1, n):
+        log_dev[i] = 0.92 * log_dev[i - 1] + rng.normal(0.0, 0.06)
+    baseline = base_level * np.exp(log_dev)
+
+    # Flash crowds: triangular episodes, heavy-tailed heights.
+    bursts = np.zeros(n)
+    n_bursts = max(1, int(duration_s / burst_every_s))
+    starts = rng.uniform(0, duration_s, size=n_bursts)
+    for start in starts:
+        height = (peak_rps - base_level) * min(1.0, rng.pareto(2.5) + 0.25)
+        width_s = rng.uniform(20.0, 80.0)
+        rise = width_s * 0.3
+        for i in range(n):
+            dt = t[i] - start
+            if 0 <= dt < rise:
+                bursts[i] += height * dt / rise
+            elif rise <= dt < width_s:
+                bursts[i] += height * (1 - (dt - rise) / (width_s - rise))
+
+    rates = baseline + bursts
+    # Renormalise the long-run mean to avg_rps without clipping peaks hard.
+    rates = rates * (avg_rps / rates.mean())
+    rates = np.clip(rates, avg_rps * 0.1, peak_rps * 1.25)
+    return RateProfile(t * 1000.0, rates)
+
+
+def wits_trace(
+    avg_rps: float = DEFAULT_AVG_RPS,
+    peak_rps: float = DEFAULT_PEAK_RPS,
+    duration_s: float = DEFAULT_DURATION_S,
+    seed: int = 11,
+) -> ArrivalTrace:
+    """Sample a WITS-like bursty arrival trace (see module docstring)."""
+    profile = wits_rate_profile(
+        avg_rps=avg_rps, peak_rps=peak_rps, duration_s=duration_s, seed=seed
+    )
+    return trace_from_profile(profile, duration_s * 1000.0, seed=seed, name="wits")

@@ -1,0 +1,21 @@
+"""Workflow substrate (the Brigade analogue).
+
+Jobs are function-chain invocations; tasks are their per-stage units.
+Function pools hold the global per-stage request queues and the
+containers serving them, mirroring the modified Brigade workers of the
+paper's prototype (section 5.1).
+"""
+
+from repro.workflow.job import Job, JobStage, Task
+from repro.workflow.pool import FunctionPool
+from repro.workflow.statestore import StateStore
+from repro.workflow.sharded_store import ShardedStateStore
+
+__all__ = [
+    "Job",
+    "JobStage",
+    "Task",
+    "FunctionPool",
+    "StateStore",
+    "ShardedStateStore",
+]

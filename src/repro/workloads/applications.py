@@ -1,0 +1,138 @@
+"""Table 4 — the four microservice chains and their slack.
+
+An :class:`Application` is a linear chain of microservices (no dynamic
+branching, as in the paper).  The end-to-end SLO is fixed at 1000 ms —
+"the maximum of 5x execution_time of all the applications used in our
+workloads" (section 4.1).
+
+Slack calibration
+-----------------
+Table 4 reports average slack per application (e.g. IPA: 697 ms) that is
+*less* than ``SLO - sum(exec)``: the residual is per-stage transition
+overhead (event-bus hop, ephemeral-storage fetch, scheduling).  We
+calibrate each application's per-stage overhead as::
+
+    overhead_per_stage = (SLO - total_exec - table4_slack) / n_stages
+
+so that the modelled slack matches the published numbers exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.workloads.microservices import MICROSERVICES, Microservice
+
+#: Section 4.1: the response-latency SLO used throughout the paper.
+DEFAULT_SLO_MS = 1000.0
+
+#: Table 4's published average slack per application (ms).
+TABLE4_SLACK_MS: Dict[str, float] = {
+    "face-security": 788.0,
+    "img": 700.0,
+    "ipa": 697.0,
+    "detect-fatigue": 572.0,
+}
+
+
+@dataclass(frozen=True)
+class Application:
+    """A linear serverless function chain.
+
+    Attributes:
+        name: chain identifier (Table 4 row).
+        stages: ordered microservices; stage i feeds stage i+1.
+        slo_ms: end-to-end response-latency SLO.
+        transition_overhead_ms: fixed non-execution cost charged once per
+            stage (function transition + data fetch), calibrated so that
+            ``slack_ms`` reproduces Table 4.
+    """
+
+    name: str
+    stages: Tuple[Microservice, ...]
+    slo_ms: float = DEFAULT_SLO_MS
+    transition_overhead_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError(f"{self.name}: chain must have at least one stage")
+        if self.slo_ms <= 0:
+            raise ValueError(f"{self.name}: SLO must be positive")
+        if self.transition_overhead_ms < 0:
+            raise ValueError(f"{self.name}: overhead must be non-negative")
+        if self.total_exec_ms + self.total_overhead_ms >= self.slo_ms:
+            raise ValueError(
+                f"{self.name}: execution + overhead exceeds SLO; no slack"
+            )
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(svc.name for svc in self.stages)
+
+    @property
+    def total_exec_ms(self) -> float:
+        """Sum of mean stage execution times."""
+        return sum(svc.mean_exec_ms for svc in self.stages)
+
+    @property
+    def total_overhead_ms(self) -> float:
+        return self.transition_overhead_ms * self.n_stages
+
+    @property
+    def slack_ms(self) -> float:
+        """End-to-end slack: SLO minus execution minus overheads."""
+        return self.slo_ms - self.total_exec_ms - self.total_overhead_ms
+
+    def stage_exec_ms(self, stage_index: int) -> float:
+        return self.stages[stage_index].mean_exec_ms
+
+    def with_slo(self, slo_ms: float) -> "Application":
+        """The same chain under a different SLO (sensitivity studies)."""
+        return Application(
+            name=self.name,
+            stages=self.stages,
+            slo_ms=slo_ms,
+            transition_overhead_ms=self.transition_overhead_ms,
+        )
+
+
+def _chain(name: str, stage_names: List[str]) -> Application:
+    stages = tuple(MICROSERVICES[s] for s in stage_names)
+    exec_total = sum(svc.mean_exec_ms for svc in stages)
+    target_slack = TABLE4_SLACK_MS[name]
+    overhead_total = DEFAULT_SLO_MS - exec_total - target_slack
+    if overhead_total < 0:
+        raise ValueError(f"{name}: Table 4 slack inconsistent with Table 3")
+    return Application(
+        name=name,
+        stages=stages,
+        slo_ms=DEFAULT_SLO_MS,
+        transition_overhead_ms=overhead_total / len(stages),
+    )
+
+
+#: Table 4 of the paper: chain compositions, ordered by decreasing slack.
+APPLICATIONS: Dict[str, Application] = {
+    app.name: app
+    for app in [
+        _chain("face-security", ["FACED", "FACER"]),
+        _chain("img", ["IMC", "NLP", "QA"]),
+        _chain("ipa", ["ASR", "NLP", "QA"]),
+        _chain("detect-fatigue", ["HS", "AP", "FACED", "FACER"]),
+    ]
+}
+
+
+def get_application(name: str) -> Application:
+    """Look up a Table 4 application by name (case-insensitive)."""
+    key = name.lower()
+    if key not in APPLICATIONS:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(APPLICATIONS)}"
+        )
+    return APPLICATIONS[key]

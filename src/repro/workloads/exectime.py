@@ -1,0 +1,97 @@
+"""Offline execution-time estimation (section 4.1).
+
+The paper profiles each microservice offline and fits a linear
+regression producing a Mean Execution Time (MET) for a given input size
+("we find a linear relationship between the execution time and the
+input size", section 2.2.2).  This module reproduces that component:
+generate profiling observations from a microservice's latency model,
+fit ordinary least squares, and predict MET for unseen input sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.microservices import Microservice
+
+
+@dataclass
+class ExecutionTimeModel:
+    """Per-microservice linear MET model: ``exec_ms = a * input_size + b``.
+
+    Fit with :meth:`fit` on (input_size, exec_ms) observations, or with
+    :meth:`profile` which generates the observations by running the
+    microservice latency model — the "simple offline profiling" step of
+    section 2.2.2.
+    """
+
+    slope: float = 0.0
+    intercept: float = 0.0
+    r_squared: float = 0.0
+    n_samples: int = 0
+    _fitted: bool = field(default=False, repr=False)
+
+    def fit(self, input_sizes: Sequence[float], exec_times_ms: Sequence[float]) -> "ExecutionTimeModel":
+        """Ordinary-least-squares fit. Returns self for chaining."""
+        x = np.asarray(input_sizes, dtype=float)
+        y = np.asarray(exec_times_ms, dtype=float)
+        if x.ndim != 1 or y.ndim != 1 or x.size != y.size:
+            raise ValueError("inputs must be equal-length 1-D sequences")
+        if x.size < 2:
+            raise ValueError("need at least 2 observations to fit a line")
+        if np.allclose(x, x[0]):
+            # Degenerate design: constant input size, predict the mean.
+            self.slope = 0.0
+            self.intercept = float(y.mean())
+        else:
+            design = np.vstack([x, np.ones_like(x)]).T
+            (self.slope, self.intercept), *_ = np.linalg.lstsq(design, y, rcond=None)
+        predictions = self.slope * x + self.intercept
+        ss_res = float(np.sum((y - predictions) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        self.r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        self.n_samples = int(x.size)
+        self._fitted = True
+        return self
+
+    def profile(
+        self,
+        service: Microservice,
+        input_scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+        runs_per_scale: int = 20,
+        seed: int = 0,
+    ) -> "ExecutionTimeModel":
+        """Offline-profile *service* across input sizes and fit the line."""
+        if runs_per_scale < 1:
+            raise ValueError("runs_per_scale must be >= 1")
+        rng = np.random.default_rng(seed)
+        sizes, times = [], []
+        for scale in input_scales:
+            for _ in range(runs_per_scale):
+                sizes.append(scale)
+                times.append(service.exec_time_ms(rng, input_scale=scale))
+        return self.fit(sizes, times)
+
+    def predict(self, input_size: float) -> float:
+        """Mean Execution Time (ms) for *input_size*."""
+        if not self._fitted:
+            raise RuntimeError("model is not fitted; call fit() or profile()")
+        return max(0.0, self.slope * input_size + self.intercept)
+
+    @property
+    def fitted(self) -> bool:
+        return self._fitted
+
+
+def profile_all(
+    services: Dict[str, Microservice],
+    seed: int = 0,
+) -> Dict[str, ExecutionTimeModel]:
+    """Build the offline MET table for every microservice."""
+    return {
+        name: ExecutionTimeModel().profile(svc, seed=seed + i)
+        for i, (name, svc) in enumerate(sorted(services.items()))
+    }

@@ -1,0 +1,144 @@
+"""Synthetic chain and workload generation.
+
+The paper evaluates four fixed chains; a downstream user of Fifer will
+bring their own.  This module synthesises linear chains from the
+microservice catalogue (or from randomly parameterised services) with
+the same calibration discipline as Table 4 — a fixed SLO, per-stage
+transition overheads, and a positive-slack guarantee — so every policy
+and experiment in :mod:`repro` runs unchanged on generated workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.applications import Application
+from repro.workloads.microservices import MICROSERVICES, Microservice
+from repro.workloads.mixes import WorkloadMix
+
+DEFAULT_OVERHEAD_MS = 60.0
+
+
+def synthesize_microservice(
+    name: str,
+    rng: np.random.Generator,
+    exec_range_ms: Tuple[float, float] = (1.0, 150.0),
+) -> Microservice:
+    """A random ML-like microservice with log-uniform execution time."""
+    lo, hi = exec_range_ms
+    if not 0 < lo < hi:
+        raise ValueError("need 0 < exec_range_ms[0] < exec_range_ms[1]")
+    exec_ms = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+    return Microservice(
+        name=name,
+        description=f"synthetic service {name}",
+        model="synthetic",
+        domain="synthetic",
+        mean_exec_ms=exec_ms,
+        exec_std_ms=min(0.08 * exec_ms, 15.0),
+    )
+
+
+def generate_chain(
+    name: str,
+    n_stages: int,
+    seed: int = 0,
+    slo_ms: float = 1000.0,
+    overhead_ms: float = DEFAULT_OVERHEAD_MS,
+    catalog: Optional[Sequence[Microservice]] = None,
+    synthetic: bool = False,
+) -> Application:
+    """Build one linear chain.
+
+    Stages are drawn without replacement from *catalog* (default: the
+    Table 3 services) or synthesised when ``synthetic=True``.  If the
+    drawn chain's execution + overhead would leave no slack under
+    *slo_ms*, the longest stages are swapped for shorter ones until the
+    plan is feasible.
+    """
+    if n_stages < 1:
+        raise ValueError("a chain needs at least one stage")
+    rng = np.random.default_rng(seed)
+    if synthetic:
+        stages: List[Microservice] = [
+            synthesize_microservice(f"{name}-S{i}".upper(), rng)
+            for i in range(n_stages)
+        ]
+    else:
+        pool = list(catalog) if catalog is not None else [
+            svc for key, svc in MICROSERVICES.items()
+            if key not in ("POS", "NER")  # the chains use the NLP bundle
+        ]
+        if n_stages > len(pool):
+            raise ValueError(
+                f"chain of {n_stages} stages exceeds catalogue of {len(pool)}"
+            )
+        idx = rng.choice(len(pool), size=n_stages, replace=False)
+        stages = [pool[i] for i in idx]
+
+    def feasible(candidate: List[Microservice]) -> bool:
+        total = sum(s.mean_exec_ms for s in candidate) + overhead_ms * n_stages
+        return total < slo_ms
+
+    # Repair infeasible draws by replacing the longest stage with the
+    # shortest unused service (bounded; synthetic draws re-roll).
+    attempts = 0
+    while not feasible(stages):
+        attempts += 1
+        if attempts > 50:
+            raise ValueError(
+                f"cannot build a feasible {n_stages}-stage chain under "
+                f"SLO {slo_ms} ms"
+            )
+        if synthetic:
+            worst = max(range(n_stages), key=lambda i: stages[i].mean_exec_ms)
+            stages[worst] = synthesize_microservice(
+                f"{name}-S{worst}R{attempts}".upper(), rng,
+                exec_range_ms=(1.0, 50.0),
+            )
+        else:
+            unused = [s for s in pool if s not in stages]
+            if not unused:
+                raise ValueError("catalogue exhausted while repairing chain")
+            worst = max(range(n_stages), key=lambda i: stages[i].mean_exec_ms)
+            stages[worst] = min(unused, key=lambda s: s.mean_exec_ms)
+
+    return Application(
+        name=name,
+        stages=tuple(stages),
+        slo_ms=slo_ms,
+        transition_overhead_ms=overhead_ms,
+    )
+
+
+def generate_mix(
+    name: str,
+    n_applications: int = 2,
+    stages_range: Tuple[int, int] = (2, 4),
+    seed: int = 0,
+    slo_ms: float = 1000.0,
+    synthetic: bool = False,
+) -> WorkloadMix:
+    """A workload mix of freshly generated chains (equal weights)."""
+    if n_applications < 1:
+        raise ValueError("a mix needs at least one application")
+    lo, hi = stages_range
+    if not 1 <= lo <= hi:
+        raise ValueError("invalid stages_range")
+    rng = np.random.default_rng(seed)
+    apps = []
+    for i in range(n_applications):
+        n_stages = int(rng.integers(lo, hi + 1))
+        apps.append(
+            generate_chain(
+                f"{name}-app{i}",
+                n_stages,
+                seed=seed + 1000 + i,
+                slo_ms=slo_ms,
+                synthetic=synthetic,
+            )
+        )
+    weights = tuple(1.0 / n_applications for _ in apps)
+    return WorkloadMix(name=name, applications=tuple(apps), weights=weights)

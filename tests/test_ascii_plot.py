@@ -1,0 +1,90 @@
+"""Tests for the terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.ascii_plot import bar_chart, cdf_plot, line_plot, sparkline
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        out = bar_chart({"fifer": 10.0, "bline": 40.0}, width=20)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        # bline's bar is the longest (scaled to full width).
+        assert lines[1].count("█") == 20
+        assert 0 < lines[0].count("█") <= 5
+
+    def test_title(self):
+        out = bar_chart({"a": 1.0}, title="T")
+        assert out.startswith("T\n")
+
+    def test_empty(self):
+        assert bar_chart({}) == ""
+        assert bar_chart({}, title="T") == "T"
+
+    def test_zero_values_safe(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in out and "b" in out
+
+    def test_unit_suffix(self):
+        assert "kJ" in bar_chart({"a": 5.0}, unit="kJ")
+
+
+class TestSparkline:
+    def test_length_compression(self):
+        out = sparkline(np.arange(1000.0), width=50)
+        assert len(out) == 50
+
+    def test_short_series_uncompressed(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=50)) == 3
+
+    def test_monotone_series_monotone_glyphs(self):
+        out = sparkline([0.0, 1.0, 2.0, 3.0], width=10)
+        assert out[0] <= out[-1]
+
+    def test_empty_and_zero(self):
+        assert sparkline([]) == ""
+        assert set(sparkline([0.0, 0.0])) == {" "}
+
+
+class TestLinePlot:
+    def test_grid_dimensions(self):
+        out = line_plot(
+            {"s": ([0, 1, 2], [0, 1, 2])}, width=30, height=8,
+        )
+        grid_rows = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(grid_rows) == 8
+        assert all(len(r) == 31 for r in grid_rows)
+
+    def test_markers_distinct_per_series(self):
+        out = line_plot({
+            "a": ([0, 1], [0, 1]),
+            "b": ([0, 1], [1, 0]),
+        })
+        assert "*=a" in out and "o=b" in out
+        assert "*" in out and "o" in out
+
+    def test_empty(self):
+        assert line_plot({}, title="T") == "T"
+
+    def test_constant_series_safe(self):
+        out = line_plot({"flat": ([0, 1, 2], [5, 5, 5])})
+        assert "*" in out
+
+
+class TestCdfPlot:
+    def test_contains_axis_labels(self):
+        rng = np.random.default_rng(0)
+        out = cdf_plot({"fifer": rng.uniform(0, 100, 200)})
+        assert "CDF" in out
+        assert "latency (ms)" in out
+
+    def test_truncation_at_percentile(self):
+        values = list(range(100))
+        out = cdf_plot({"x": values}, up_to_percentile=50.0)
+        # The x-axis maximum reflects the truncated tail.
+        assert "49" in out or "50" in out
+
+    def test_empty_samples(self):
+        assert cdf_plot({"x": []}, title="T") == "T"

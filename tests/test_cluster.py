@@ -1,0 +1,183 @@
+"""Tests for nodes, placement, energy and cold-start models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster, NodePlacementPolicy
+from repro.cluster.coldstart import ColdStartModel, IMAGE_SIZES_MB
+from repro.cluster.energy import EnergyMeter, NodePowerModel
+from repro.cluster.node import Node
+
+
+class TestNode:
+    def test_allocate_release(self):
+        node = Node(node_id=0, cores=4)
+        node.allocate(0.5, 512)
+        assert node.allocated_cpu == 0.5
+        assert node.container_count == 1
+        node.release(0.5, 512, now_ms=100.0)
+        assert node.allocated_cpu == 0.0
+        assert node.empty
+        assert node.idle_since_ms == 100.0
+
+    def test_fits_boundary(self):
+        node = Node(node_id=0, cores=1.0, memory_mb=1024)
+        assert node.fits(1.0, 1024)
+        assert not node.fits(1.5, 512)
+        assert not node.fits(0.5, 2048)
+
+    def test_allocate_over_capacity_raises(self):
+        node = Node(node_id=0, cores=0.5, memory_mb=512)
+        node.allocate(0.5, 512)
+        with pytest.raises(RuntimeError):
+            node.allocate(0.5, 1)
+
+    def test_release_without_containers_raises(self):
+        node = Node(node_id=0)
+        with pytest.raises(RuntimeError):
+            node.release(0.5, 512, 0.0)
+
+    def test_utilization(self):
+        node = Node(node_id=0, cores=16)
+        for _ in range(8):
+            node.allocate(0.5, 64)
+        assert node.cpu_utilization == pytest.approx(0.25)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Node(node_id=0, cores=0)
+
+
+class TestClusterPlacement:
+    def test_pack_prefers_most_loaded_fitting_node(self):
+        cluster = Cluster(n_nodes=3, cores_per_node=2, policy=NodePlacementPolicy.PACK)
+        first = cluster.place()
+        second = cluster.place()
+        # Both land on the same node until it is full.
+        assert first is second
+        # Fill node 0 (4 slots at 0.5 cpu), then spill to node 1.
+        cluster.place()
+        cluster.place()
+        spill = cluster.place()
+        assert spill.node_id != first.node_id
+
+    def test_spread_balances(self):
+        cluster = Cluster(n_nodes=3, cores_per_node=2, policy=NodePlacementPolicy.SPREAD)
+        nodes = [cluster.place().node_id for _ in range(3)]
+        assert sorted(nodes) == [0, 1, 2]
+
+    def test_pack_ties_break_to_lowest_id(self):
+        cluster = Cluster(n_nodes=2, cores_per_node=2, policy=NodePlacementPolicy.PACK)
+        assert cluster.place().node_id == 0
+
+    def test_full_cluster_returns_none_and_counts(self):
+        cluster = Cluster(n_nodes=1, cores_per_node=1)
+        cluster.place()
+        cluster.place()
+        assert cluster.place() is None
+        assert cluster.placement_failures == 1
+
+    def test_release_enables_reuse(self):
+        cluster = Cluster(n_nodes=1, cores_per_node=0.5)
+        node = cluster.place()
+        assert cluster.place() is None
+        cluster.release(node, now_ms=50.0)
+        assert cluster.place() is node
+
+    def test_capacity_accounting(self):
+        cluster = Cluster(n_nodes=5, cores_per_node=16)
+        assert cluster.total_cores == 80
+        assert cluster.container_capacity(0.5) == 160
+
+    def test_memory_constraint(self):
+        cluster = Cluster(n_nodes=1, cores_per_node=16, memory_per_node_mb=1024)
+        assert cluster.place(cpu=0.5, memory_mb=1024) is not None
+        assert cluster.place(cpu=0.5, memory_mb=1024) is None
+
+    def test_invalid_cluster(self):
+        with pytest.raises(ValueError):
+            Cluster(n_nodes=0)
+
+
+class TestEnergy:
+    def test_power_linear_in_utilization(self):
+        model = NodePowerModel(idle_w=100.0, peak_w=300.0)
+        node = Node(node_id=0, cores=16)
+        assert model.node_power_w(node, 0.0) == pytest.approx(100.0)
+        for _ in range(16):
+            node.allocate(0.5, 64)
+        assert model.node_power_w(node, 0.0) == pytest.approx(200.0)
+
+    def test_gating_disabled_by_default(self):
+        model = NodePowerModel()
+        node = Node(node_id=0)
+        node.idle_since_ms = 0.0
+        assert model.node_power_w(node, 1e12) == pytest.approx(model.idle_w)
+
+    def test_gating_when_enabled(self):
+        model = NodePowerModel(gate_after_ms=1000.0)
+        node = Node(node_id=0)
+        node.idle_since_ms = 0.0
+        assert model.node_power_w(node, 500.0) > 0
+        assert model.node_power_w(node, 1500.0) == 0.0
+
+    def test_gated_node_with_container_stays_on(self):
+        model = NodePowerModel(gate_after_ms=1000.0)
+        node = Node(node_id=0)
+        node.allocate(0.5, 64)
+        assert model.node_power_w(node, 1e9) > 0
+
+    def test_meter_integrates(self):
+        meter = EnergyMeter(model=NodePowerModel(idle_w=100.0, peak_w=100.0),
+                            interval_ms=10_000.0)
+        nodes = [Node(node_id=0), Node(node_id=1)]
+        for t in [0.0, 10_000.0, 20_000.0]:
+            meter.sample(nodes, t)
+        # 200 W x 3 samples x 10 s = 6000 J.
+        assert meter.total_joules == pytest.approx(6000.0)
+        assert meter.mean_power_w == pytest.approx(200.0)
+        assert meter.total_kwh == pytest.approx(6000.0 / 3.6e6)
+
+    def test_active_node_tracking(self):
+        meter = EnergyMeter(model=NodePowerModel(gate_after_ms=0.0))
+        on = Node(node_id=0)
+        on.allocate(0.5, 64)
+        off = Node(node_id=1)
+        meter.sample([on, off], 100.0)
+        assert meter.mean_active_nodes == pytest.approx(1.0)
+
+    def test_invalid_power_model(self):
+        with pytest.raises(ValueError):
+            NodePowerModel(idle_w=200.0, peak_w=100.0)
+
+
+class TestColdStart:
+    def test_mean_in_paper_range(self):
+        # Section 6.1.5: spawn takes 2 s to 9 s depending on image size.
+        model = ColdStartModel()
+        means = [model.mean_ms(fn) for fn in IMAGE_SIZES_MB]
+        assert min(means) >= 2000.0
+        assert max(means) <= 9000.0
+
+    def test_larger_image_takes_longer(self):
+        model = ColdStartModel()
+        assert model.mean_ms("HS") > model.mean_ms("NLP")
+
+    def test_sample_jitter_positive(self):
+        model = ColdStartModel()
+        rng = np.random.default_rng(0)
+        samples = [model.sample_ms("ASR", rng) for _ in range(100)]
+        assert all(s > 0 for s in samples)
+        assert np.std(samples) > 0
+
+    def test_no_jitter_without_rng(self):
+        model = ColdStartModel()
+        assert model.sample_ms("ASR") == model.mean_ms("ASR")
+
+    def test_unknown_function_uses_default(self):
+        model = ColdStartModel()
+        assert model.mean_ms("SOMETHING") > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ColdStartModel(bandwidth_mbps=0.0)

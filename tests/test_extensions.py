@@ -1,0 +1,244 @@
+"""Tests for extensions: HPA baseline, online retraining, predictor
+fault resilience, and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.coldstart import ColdStartModel
+from repro.core.policies import EXTENDED_POLICY_NAMES, make_policy_config
+from repro.core.scaling import HPAScaler, ProactiveScaler
+from repro.core.scheduling import SchedulingPolicy
+from repro.prediction.base import Predictor
+from repro.prediction.classical import EWMAPredictor
+from repro.prediction.lstm import LSTMPredictor
+from repro.prediction.online import OnlineRetrainingPredictor
+from repro.prediction.windowed import WindowedMaxSampler
+from repro.sim.engine import Simulator
+from repro.traces import step_poisson_trace
+from repro.workflow.job import Job, Task
+from repro.workflow.pool import FunctionPool
+from repro.workloads import get_application, get_microservice, get_mix
+from repro.runtime.system import run_policy
+
+
+def _pool(sim, batch_size=2, n_nodes=4):
+    cluster = Cluster(n_nodes=n_nodes)
+    return FunctionPool(
+        sim=sim,
+        service=get_microservice("ASR"),
+        cluster=cluster,
+        batch_size=batch_size,
+        stage_slack_ms=300.0,
+        stage_response_ms=350.0,
+        scheduling=SchedulingPolicy.FIFO,
+        cold_start=ColdStartModel(jitter_sigma=0.0),
+        rng=np.random.default_rng(0),
+        on_task_finished=lambda t: None,
+    )
+
+
+def _enqueue(pool, n):
+    for _ in range(n):
+        job = Job(app=get_application("ipa"), arrival_ms=pool.sim.now)
+        pool.enqueue(Task(job=job, stage_index=0, enqueue_ms=pool.sim.now))
+
+
+class TestHPAScaler:
+    def test_scales_up_on_concurrency(self):
+        sim = Simulator()
+        pool = _pool(sim, batch_size=2)
+        scaler = HPAScaler({"ASR": pool}, target_concurrency=2)
+        _enqueue(pool, 8)
+        spawned = scaler.tick(sim.now)
+        assert spawned == 4  # ceil(8 / 2)
+        assert scaler.events[0].kind == "hpa-up"
+
+    def test_desired_never_below_one(self):
+        sim = Simulator()
+        pool = _pool(sim)
+        scaler = HPAScaler({"ASR": pool}, target_concurrency=4)
+        assert scaler.desired_replicas(pool) == 1
+
+    def test_scale_down_needs_stabilization(self):
+        sim = Simulator()
+        pool = _pool(sim)
+        pool.prewarm(4)
+        sim.run(until=1.0)
+        scaler = HPAScaler({"ASR": pool}, target_concurrency=2,
+                           scale_down_stabilization_ticks=3)
+        # Desired is 1, current is 4 — needs three consecutive low ticks.
+        scaler.tick(1.0)
+        scaler.tick(2.0)
+        assert pool.n_containers == 4
+        scaler.tick(3.0)
+        assert pool.n_containers == 1
+        assert any(e.kind == "hpa-down" for e in scaler.events)
+
+    def test_burst_resets_stabilization(self):
+        sim = Simulator()
+        pool = _pool(sim, batch_size=4)
+        pool.prewarm(4)
+        sim.run(until=1.0)
+        scaler = HPAScaler({"ASR": pool}, target_concurrency=4,
+                           scale_down_stabilization_ticks=2)
+        scaler.tick(1.0)  # below target once
+        _enqueue(pool, 16)  # concurrency jumps back
+        scaler.tick(2.0)
+        assert scaler._below_target["ASR"] == 0
+
+    def test_invalid_params(self):
+        sim = Simulator()
+        pool = _pool(sim)
+        with pytest.raises(ValueError):
+            HPAScaler({"ASR": pool}, target_concurrency=0)
+        with pytest.raises(ValueError):
+            HPAScaler({"ASR": pool}, scale_down_stabilization_ticks=0)
+
+    def test_hpa_policy_end_to_end(self):
+        trace = step_poisson_trace(20.0, 120.0, seed=1)
+        result = run_policy("hpa", get_mix("light"), trace, seed=3)
+        assert result.n_completed == result.n_jobs
+        assert result.policy == "hpa"
+
+    def test_hpa_config_guard(self):
+        with pytest.raises(ValueError):
+            make_policy_config("hpa", reactive=True)
+        with pytest.raises(ValueError):
+            make_policy_config("hpa", fixed_batch_size=0)
+
+    def test_extended_names(self):
+        assert "hpa" in EXTENDED_POLICY_NAMES
+
+
+class TestOnlineRetraining:
+    def _series(self, n=120):
+        t = np.arange(n)
+        return 50.0 + 20.0 * np.sin(2 * np.pi * t / 12.0)
+
+    def test_wraps_trainable_only(self):
+        with pytest.raises(ValueError):
+            OnlineRetrainingPredictor(EWMAPredictor())
+
+    def test_refits_after_interval(self):
+        base = LSTMPredictor(epochs=3, hidden=8, layers=1, lookback=5, seed=0)
+        online = OnlineRetrainingPredictor(base, retrain_every=10,
+                                           min_history=20)
+        online.fit(self._series())
+        for v in self._series(10):
+            online.observe(float(v))
+        assert online.refits == 1
+
+    def test_history_limit_respected(self):
+        base = LSTMPredictor(epochs=2, hidden=8, layers=1, lookback=5, seed=0)
+        online = OnlineRetrainingPredictor(base, retrain_every=1000,
+                                           history_limit=50)
+        online.fit(self._series(200))
+        assert len(online._observed) == 50
+
+    def test_cold_start_fallback(self):
+        base = LSTMPredictor(epochs=2, hidden=8, layers=1, lookback=5, seed=0)
+        online = OnlineRetrainingPredictor(base, min_history=100)
+        # Never fitted and too little history: falls back to last value.
+        assert online.predict([10.0, 30.0]) == 30.0
+
+    def test_auto_fit_once_enough_history(self):
+        base = LSTMPredictor(epochs=2, hidden=8, layers=1, lookback=5, seed=0)
+        online = OnlineRetrainingPredictor(base, retrain_every=10**6,
+                                           min_history=30)
+        for v in self._series(40):
+            online.observe(float(v))
+        pred = online.predict(self._series(10))
+        assert np.isfinite(pred)
+        assert online.refits >= 1
+
+    def test_name_marks_wrapper(self):
+        base = LSTMPredictor(epochs=2, hidden=8, layers=1, seed=0)
+        assert "online" in OnlineRetrainingPredictor(base).name
+
+
+class _ExplodingPredictor(Predictor):
+    name = "boom"
+
+    def predict(self, history):
+        raise RuntimeError("model corrupted")
+
+
+class TestProactiveResilience:
+    def test_predictor_failure_degrades_to_observed_rate(self):
+        sim = Simulator()
+        pool = _pool(sim)
+        sampler = WindowedMaxSampler()
+        for t in np.arange(0.0, 50_000.0, 10.0):  # 100 req/s
+            sampler.record(t)
+        scaler = ProactiveScaler(
+            pools={"ASR": pool},
+            predictor=_ExplodingPredictor(),
+            sampler=sampler,
+            stage_shares={"ASR": 1.0},
+        )
+        sim.run(until=50_000.0)
+        spawned = scaler.tick(sim.now)
+        assert scaler.predictor_failures == 1
+        # Fallback to last observed rate still provisions capacity.
+        assert spawned > 0
+
+    def test_online_predictor_receives_observations(self):
+        sim = Simulator()
+        pool = _pool(sim)
+        sampler = WindowedMaxSampler()
+        for t in np.arange(0.0, 20_000.0, 100.0):
+            sampler.record(t)
+        base = LSTMPredictor(epochs=2, hidden=8, layers=1, lookback=5, seed=0)
+        online = OnlineRetrainingPredictor(base, retrain_every=10**6,
+                                           min_history=10**6)
+        scaler = ProactiveScaler(
+            pools={"ASR": pool}, predictor=online, sampler=sampler,
+            stage_shares={"ASR": 1.0},
+        )
+        sim.run(until=20_000.0)
+        scaler.tick(sim.now)
+        assert len(online._observed) == 1
+
+
+class TestCLI:
+    def test_tables_command(self, capsys):
+        from repro.cli import main
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "Table 6" in out
+        assert "fifer" in out.lower()
+
+    def test_run_command(self, capsys):
+        from repro.cli import main
+        assert main([
+            "run", "bline", "--duration", "30", "--rate", "10",
+            "--mix", "light",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bline" in out and "SLO viol" in out
+
+    def test_compare_command(self, capsys):
+        from repro.cli import main
+        assert main([
+            "compare", "--policies", "bline", "rscale",
+            "--duration", "30", "--rate", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "containers vs bline" in out
+
+    def test_figures_command(self, capsys, tmp_path):
+        from repro.cli import main
+        assert main([
+            "figures", "--policies", "bline", "--duration", "30",
+            "--rate", "8", "--mix", "light", "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "average containers" in out
+        assert "CSV exports" in out
+        assert (tmp_path / "light_step-poisson_summary.csv").exists()
+
+    def test_unknown_policy_rejected(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["run", "magic"])

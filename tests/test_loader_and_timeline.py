@@ -1,0 +1,156 @@
+"""Tests for trace persistence and time-resolved metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.timeline import (
+    TimelineSummary,
+    containers_over_time,
+    rolling_latency_percentile,
+    rolling_violation_rate,
+    spawn_rate_series,
+)
+from repro.traces import poisson_trace
+from repro.traces.base import ArrivalTrace, RateProfile, trace_from_profile
+from repro.traces.loader import (
+    load_arrivals_csv,
+    load_rate_profile_csv,
+    load_trace,
+    save_trace,
+)
+from repro.workflow.job import Job
+from repro.workloads import get_application
+
+
+class TestTraceLoader:
+    def test_npz_roundtrip(self, tmp_path):
+        trace = poisson_trace(20.0, 30.0, seed=1)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert np.array_equal(loaded.arrivals_ms, trace.arrivals_ms)
+        assert loaded.profile is not None
+        assert np.array_equal(
+            loaded.profile.rates_rps, trace.profile.rates_rps
+        )
+
+    def test_npz_roundtrip_without_profile(self, tmp_path):
+        trace = ArrivalTrace(np.array([1.0, 2.0, 3.0]), name="bare")
+        path = tmp_path / "bare.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.profile is None
+        assert len(loaded) == 3
+
+    def test_arrivals_csv(self, tmp_path):
+        path = tmp_path / "arrivals.csv"
+        path.write_text("timestamp_ms\n100.0\n200.5\n# comment\n\n300\n")
+        trace = load_arrivals_csv(path)
+        assert list(trace.arrivals_ms) == [100.0, 200.5, 300.0]
+        assert trace.name == "arrivals"
+
+    def test_arrivals_csv_bad_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("100.0\nnot-a-number\n")
+        with pytest.raises(ValueError, match="not a timestamp"):
+            load_arrivals_csv(path)
+
+    def test_rate_profile_csv(self, tmp_path):
+        path = tmp_path / "profile.csv"
+        path.write_text("time_ms,rate_rps\n0,50\n10000,100\n")
+        profile = load_rate_profile_csv(path)
+        assert profile.rate_at(0.0) == 50.0
+        assert profile.rate_at(15_000.0) == 100.0
+        # Loaded profiles drive arrival sampling like native ones.
+        trace = trace_from_profile(profile, 20_000.0, seed=0, name="csv")
+        assert len(trace) > 0
+
+    def test_rate_profile_csv_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time_ms,rate_rps\n")
+        with pytest.raises(ValueError, match="no rate rows"):
+            load_rate_profile_csv(path)
+
+
+def _job(arrival, latency, app="ipa"):
+    job = Job(app=get_application(app), arrival_ms=arrival)
+    job.completion_ms = arrival + latency
+    return job
+
+
+class TestTimeline:
+    def test_rolling_violation_rate(self):
+        jobs = [
+            _job(0.0, 500.0),        # window 0, ok
+            _job(100.0, 2000.0),     # window 0 (ends 2100) -> window 0
+            _job(70_000.0, 1500.0),  # window 1, violated
+        ]
+        starts, rates = rolling_violation_rate(jobs, window_ms=60_000.0)
+        assert len(starts) == 2
+        assert rates[0] == pytest.approx(0.5)
+        assert rates[1] == pytest.approx(1.0)
+
+    def test_rolling_violation_empty(self):
+        starts, rates = rolling_violation_rate([])
+        assert starts.size == 0
+
+    def test_rolling_latency_percentile(self):
+        jobs = [_job(0.0, lat) for lat in (100.0, 200.0, 300.0)]
+        starts, p50 = rolling_latency_percentile(jobs, q=50.0,
+                                                 window_ms=60_000.0)
+        assert p50[0] == pytest.approx(200.0)
+
+    def test_rolling_latency_invalid_q(self):
+        with pytest.raises(ValueError):
+            rolling_latency_percentile([], q=150.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            rolling_violation_rate([], window_ms=0.0)
+
+    def test_spawn_rate_series_diffs_cumulative(self):
+        from repro.metrics.collector import RunResult
+        result = RunResult(
+            policy="x", mix="m", trace="t", duration_ms=30_000.0,
+            n_jobs=0, n_completed=0, n_incomplete=0,
+            latencies_ms=np.array([]), violations=0,
+            exec_ms=np.array([]), cold_wait_ms=np.array([]),
+            batch_wait_ms=np.array([]), queue_ms=np.array([]),
+            sample_times_ms=np.array([10_000.0, 20_000.0]),
+            container_samples={"A": np.array([2, 4])},
+            total_spawns=4, spawns_per_pool={"A": 4},
+            spawn_times_ms={"A": [500.0, 11_000.0, 12_000.0, 25_000.0]},
+            rpc_per_pool={}, failed_spawns=0,
+            energy_joules=0.0, mean_power_w=0.0, mean_active_nodes=0.0,
+        )
+        series = spawn_rate_series(result, 10_000.0)
+        assert list(series) == [1, 2, 1]
+        times, counts = containers_over_time(result)
+        assert list(counts) == [2, 4]
+
+    def test_timeline_summary_compare(self):
+        from repro.metrics.collector import RunResult
+
+        def fake_result(peak):
+            return RunResult(
+                policy="x", mix="m", trace="t", duration_ms=10_000.0,
+                n_jobs=0, n_completed=0, n_incomplete=0,
+                latencies_ms=np.array([]), violations=0,
+                exec_ms=np.array([]), cold_wait_ms=np.array([]),
+                batch_wait_ms=np.array([]), queue_ms=np.array([]),
+                sample_times_ms=np.array([10_000.0]),
+                container_samples={"A": np.array([peak])},
+                total_spawns=0, spawns_per_pool={}, spawn_times_ms={},
+                rpc_per_pool={}, failed_spawns=0,
+                energy_joules=0.0, mean_power_w=0.0, mean_active_nodes=0.0,
+            )
+
+        summary = TimelineSummary.compare(
+            fake_result(10), [_job(0.0, 2000.0)],
+            fake_result(3), [_job(0.0, 100.0)],
+        )
+        assert summary.peak_containers_a == 10
+        assert summary.peak_containers_b == 3
+        assert summary.worst_window_violation_a == 1.0
+        assert summary.worst_window_violation_b == 0.0

@@ -1,0 +1,136 @@
+"""Deeper model-correctness checks: causality, distributions, ordering."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.coldstart import ColdStartModel
+from repro.core.scheduling import SchedulingPolicy
+from repro.prediction.feedforward import SimpleFeedForwardPredictor
+from repro.prediction.lstm import LSTMPredictor
+from repro.prediction.wavenet import WaveNetPredictor
+from repro.sim.engine import Simulator
+from repro.cluster.cluster import Cluster
+from repro.workflow.job import Job, Task
+from repro.workflow.pool import FunctionPool
+from repro.workloads import get_application, get_microservice
+
+
+class TestPredictorCausality:
+    """A forecaster must depend only on its lookback window: values
+    older than the window cannot change the prediction."""
+
+    @pytest.mark.parametrize("factory", [
+        lambda: SimpleFeedForwardPredictor(lookback=8, epochs=5, seed=0),
+        lambda: LSTMPredictor(lookback=8, hidden=8, layers=1, epochs=5, seed=0),
+        lambda: WaveNetPredictor(lookback=8, dilations=(1, 2, 4), epochs=5,
+                                 seed=0),
+    ])
+    def test_only_lookback_window_matters(self, factory):
+        rng = np.random.default_rng(0)
+        series = rng.uniform(10.0, 100.0, 80)
+        model = factory()
+        model.fit(series)
+        window = list(rng.uniform(10.0, 100.0, 8))
+        history_a = [55.0] * 20 + window
+        history_b = [5.0, 95.0] * 10 + window
+        assert model.predict(history_a) == pytest.approx(
+            model.predict(history_b)
+        )
+
+
+class TestColdStartDistribution:
+    def test_jitter_preserves_mean(self):
+        model = ColdStartModel(jitter_sigma=0.1)
+        rng = np.random.default_rng(0)
+        samples = [model.sample_ms("ASR", rng) for _ in range(3000)]
+        # Lognormal(0, 0.1) has mean exp(0.005) ~ 1.005.
+        assert np.mean(samples) == pytest.approx(
+            model.mean_ms("ASR") * np.exp(0.005), rel=0.02
+        )
+
+    def test_ordering_follows_image_size(self):
+        model = ColdStartModel()
+        means = {fn: model.mean_ms(fn) for fn in ("NLP", "FACED", "ASR", "HS")}
+        assert means["NLP"] < means["FACED"] < means["ASR"] < means["HS"]
+
+
+class TestLSFUnderContention:
+    def test_shared_pool_serves_tight_chain_first(self):
+        """On a shared stage, the chain with less residual slack runs
+        first even if it arrived later (section 4.3's scenario)."""
+        sim = Simulator()
+        cluster = Cluster(n_nodes=1)
+        order = []
+        pool = FunctionPool(
+            sim=sim,
+            service=get_microservice("FACED"),
+            cluster=cluster,
+            batch_size=1,
+            stage_slack_ms=300.0,
+            stage_response_ms=306.0,
+            scheduling=SchedulingPolicy.LSF,
+            cold_start=ColdStartModel(jitter_sigma=0.0),
+            rng=np.random.default_rng(0),
+            on_task_finished=lambda t: order.append(t.job.app.name),
+        )
+        pool.prewarm(1)
+        sim.run(until=1.0)
+        # Keep the single container busy so later pushes queue up.
+        blocker = Job(app=get_application("face-security"), arrival_ms=1.0)
+        pool.enqueue(Task(job=blocker, stage_index=0, enqueue_ms=1.0))
+        # The loose job arrived recently; the tight job arrived 400 ms
+        # ago and has burned most of its slack in earlier stages.
+        loose = Job(app=get_application("face-security"), arrival_ms=400.0)
+        tight = Job(app=get_application("detect-fatigue"), arrival_ms=1.0)
+        pool.enqueue(Task(job=loose, stage_index=0, enqueue_ms=400.0))
+        pool.enqueue(Task(job=tight, stage_index=2, enqueue_ms=400.0))
+        sim.run(until=10_000.0)
+        assert order[0] == "face-security"  # the blocker
+        # The earlier-deadline Detect-Fatigue stage runs next under LSF
+        # despite being pushed after the loose face-security task.
+        assert order[1] == "detect-fatigue"
+        assert order[2] == "face-security"
+
+    def test_fifo_pool_would_not_reorder(self):
+        sim = Simulator()
+        cluster = Cluster(n_nodes=1)
+        order = []
+        pool = FunctionPool(
+            sim=sim,
+            service=get_microservice("FACED"),
+            cluster=cluster,
+            batch_size=1,
+            stage_slack_ms=300.0,
+            stage_response_ms=306.0,
+            scheduling=SchedulingPolicy.FIFO,
+            cold_start=ColdStartModel(jitter_sigma=0.0),
+            rng=np.random.default_rng(0),
+            on_task_finished=lambda t: order.append(t.job.app.name),
+        )
+        pool.prewarm(1)
+        sim.run(until=1.0)
+        blocker = Job(app=get_application("face-security"), arrival_ms=1.0)
+        pool.enqueue(Task(job=blocker, stage_index=0, enqueue_ms=1.0))
+        loose = Job(app=get_application("face-security"), arrival_ms=400.0)
+        tight = Job(app=get_application("detect-fatigue"), arrival_ms=1.0)
+        pool.enqueue(Task(job=loose, stage_index=0, enqueue_ms=400.0))
+        pool.enqueue(Task(job=tight, stage_index=2, enqueue_ms=400.0))
+        sim.run(until=10_000.0)
+        # FIFO ignores the tight deadline: insertion order wins.
+        assert order == ["face-security", "face-security", "detect-fatigue"]
+
+
+class TestSimulatorLargeScale:
+    def test_hundred_thousand_events_ordered(self):
+        sim = Simulator()
+        rng = np.random.default_rng(0)
+        last = {"t": -1.0}
+
+        def check():
+            assert sim.now >= last["t"]
+            last["t"] = sim.now
+
+        for t in rng.uniform(0, 1e6, 100_000):
+            sim.schedule_at(float(t), check)
+        sim.run()
+        assert sim.events_executed == 100_000

@@ -1,0 +1,117 @@
+"""Tests for multi-tenant deployments on a shared cluster."""
+
+import pytest
+
+from repro.core.policies import make_policy_config
+from repro.prediction.classical import EWMAPredictor
+from repro.runtime.multitenant import (
+    MultiTenantSystem,
+    TenantSpec,
+)
+from repro.runtime.system import ClusterSpec
+from repro.traces import poisson_trace
+from repro.workloads import get_mix
+
+
+def _spec(name, policy="rscale", mix="light", rate=10.0, duration=60.0,
+          seed=1, predictor=None):
+    config = make_policy_config(policy, idle_timeout_ms=60_000.0)
+    if config.proactive_predictor == "ewma" and predictor is None:
+        predictor = EWMAPredictor()
+    return TenantSpec(
+        name=name,
+        config=config,
+        mix=get_mix(mix),
+        trace=poisson_trace(rate, duration, seed=seed),
+        predictor=predictor,
+        seed=seed,
+    )
+
+
+class TestMultiTenantSystem:
+    def test_two_tenants_complete_all_jobs(self):
+        mts = MultiTenantSystem([
+            _spec("team-a", "rscale", "light", seed=1),
+            _spec("team-b", "bline", "heavy", seed=2),
+        ])
+        result = mts.run()
+        assert set(result.tenants) == {"team-a", "team-b"}
+        for name, r in result.tenants.items():
+            assert r.n_completed == r.n_jobs > 0, name
+
+    def test_tenants_are_isolated(self):
+        mts = MultiTenantSystem([
+            _spec("a", "rscale", "light", seed=1),
+            _spec("b", "rscale", "light", seed=2),
+        ])
+        mts.run()
+        pools_a = mts.systems["a"].pools
+        pools_b = mts.systems["b"].pools
+        # Same functions, different pool objects (footnote 4: no sharing).
+        assert set(pools_a) == set(pools_b)
+        for fn in pools_a:
+            assert pools_a[fn] is not pools_b[fn]
+            ids_a = {c.container_id for c in pools_a[fn].containers}
+            ids_b = {c.container_id for c in pools_b[fn].containers}
+            assert not ids_a & ids_b
+
+    def test_shared_cluster_accounts_both_tenants(self):
+        mts = MultiTenantSystem([
+            _spec("a", seed=1),
+            _spec("b", seed=2),
+        ])
+        result = mts.run()
+        cluster = mts.systems["a"].cluster
+        assert cluster is mts.systems["b"].cluster
+        per_tenant_peak = max(
+            r.peak_containers for r in result.tenants.values()
+        )
+        assert result.peak_total_containers >= per_tenant_peak
+
+    def test_energy_metered_once(self):
+        mts = MultiTenantSystem([
+            _spec("a", seed=1),
+            _spec("b", seed=2),
+        ])
+        result = mts.run()
+        assert result.cluster_energy_joules > 0
+        # Tenants skipped their own sampling: per-tenant energy is zero.
+        for r in result.tenants.values():
+            assert r.energy_joules == 0.0
+
+    def test_total_violation_rate(self):
+        mts = MultiTenantSystem([_spec("solo", seed=3)])
+        result = mts.run()
+        assert result.total_violation_rate() == pytest.approx(
+            result.tenants["solo"].slo_violation_rate
+        )
+
+    def test_mixed_policies_contend_for_capacity(self):
+        # A tiny cluster forces the tenants to contend; both still finish
+        # (idle-reclaim keeps one tenant from starving the other).
+        mts = MultiTenantSystem(
+            [
+                _spec("greedy", "bline", "heavy", rate=15.0, seed=4),
+                _spec("frugal", "rscale", "light", rate=15.0, seed=5),
+            ],
+            cluster_spec=ClusterSpec(n_nodes=2, cores_per_node=8.0),
+        )
+        result = mts.run()
+        for name, r in result.tenants.items():
+            assert r.n_completed == r.n_jobs, name
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiTenantSystem([])
+        with pytest.raises(ValueError):
+            MultiTenantSystem([_spec("dup", seed=1), _spec("dup", seed=2)])
+
+    def test_different_trace_lengths(self):
+        mts = MultiTenantSystem([
+            _spec("short", duration=30.0, seed=1),
+            _spec("long", duration=90.0, seed=2),
+        ])
+        result = mts.run()
+        assert result.tenants["long"].n_jobs > result.tenants["short"].n_jobs
+        for r in result.tenants.values():
+            assert r.n_completed == r.n_jobs

@@ -1,0 +1,149 @@
+"""Tests for the sharded state store and the CSV figure exporters."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import (
+    export_all,
+    export_container_timeline,
+    export_latency_cdf,
+    export_queuing_distribution,
+    export_spawn_series,
+    export_summary,
+)
+from repro.metrics.collector import RunResult
+from repro.workflow.sharded_store import ShardedStateStore
+from repro.workflow.statestore import StateStore
+
+
+class TestShardedStateStore:
+    def test_single_key_roundtrip(self):
+        store = ShardedStateStore(n_shards=4, seed=1)
+        store.insert("jobs", 42, {"app": "ipa"})
+        assert store.get("jobs", 42) == {"app": "ipa"}
+        store.update("jobs", 42, {"done": True})
+        assert store.get("jobs", 42)["done"] is True
+
+    def test_keys_partition_across_shards(self):
+        store = ShardedStateStore(n_shards=4, seed=1)
+        for i in range(400):
+            store.insert("jobs", i, {"i": i})
+        loads = [s.reads + s.writes for s in store.shards]
+        assert all(load > 0 for load in loads)
+        assert store.load_imbalance() < 2.0  # hash spreads evenly-ish
+
+    def test_find_scatter_gathers(self):
+        store = ShardedStateStore(n_shards=3, seed=1)
+        for i in range(30):
+            store.insert("jobs", i, {"app": "ipa" if i % 2 else "img"})
+        found = store.find("jobs", app="ipa")
+        assert len(found) == 15
+
+    def test_count_aggregates(self):
+        store = ShardedStateStore(n_shards=3, seed=1)
+        for i in range(10):
+            store.insert("jobs", i, {})
+        assert store.count("jobs") == 10
+
+    def test_faster_than_central_store(self):
+        sharded = ShardedStateStore(n_shards=4, seed=1)
+        central = StateStore(seed=1)
+        for i in range(300):
+            sharded.insert("jobs", i, {})
+            central.insert("jobs", i, {})
+        assert sharded.mean_access_latency_ms < central.mean_access_latency_ms
+
+    def test_empty_store_accounting(self):
+        store = ShardedStateStore(n_shards=2)
+        assert store.mean_access_latency_ms == 0.0
+        assert store.load_imbalance() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedStateStore(n_shards=0)
+
+
+def _result(policy="fifer", n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    latencies = rng.uniform(100.0, 900.0, n)
+    return RunResult(
+        policy=policy, mix="heavy", trace="t", duration_ms=60_000.0,
+        n_jobs=n, n_completed=n, n_incomplete=0,
+        latencies_ms=latencies, violations=0,
+        exec_ms=latencies * 0.3, cold_wait_ms=np.zeros(n),
+        batch_wait_ms=latencies * 0.2, queue_ms=latencies * 0.2,
+        sample_times_ms=np.array([10_000.0, 20_000.0, 30_000.0]),
+        container_samples={"ASR": np.array([2, 3, 2]),
+                           "QA": np.array([1, 1, 2])},
+        total_spawns=3, spawns_per_pool={"ASR": 2, "QA": 1},
+        spawn_times_ms={"ASR": [5_000.0, 15_000.0], "QA": [25_000.0]},
+        rpc_per_pool={"ASR": 10.0, "QA": 20.0}, failed_spawns=0,
+        energy_joules=1234.0, mean_power_w=100.0, mean_active_nodes=2.0,
+    )
+
+
+class TestExport:
+    def _read(self, path):
+        with open(path, newline="") as handle:
+            return list(csv.reader(handle))
+
+    def test_summary_csv(self, tmp_path):
+        path = export_summary(
+            {"fifer": _result(), "bline": _result("bline", seed=1)},
+            tmp_path / "summary.csv",
+        )
+        rows = self._read(path)
+        assert rows[0][0] == "policy"
+        assert {r[0] for r in rows[1:]} == {"fifer", "bline"}
+        assert len(rows) == 3
+
+    def test_latency_cdf_monotone(self, tmp_path):
+        path = export_latency_cdf({"fifer": _result()}, tmp_path / "cdf.csv")
+        rows = self._read(path)[1:]
+        latencies = [float(r[1]) for r in rows]
+        fractions = [float(r[2]) for r in rows]
+        assert latencies == sorted(latencies)
+        assert fractions == sorted(fractions)
+        assert max(fractions) <= 0.96  # truncated at P95
+
+    def test_container_timeline(self, tmp_path):
+        path = export_container_timeline(
+            {"fifer": _result()}, tmp_path / "containers.csv"
+        )
+        rows = self._read(path)[1:]
+        assert [int(r[2]) for r in rows] == [3, 4, 4]  # pool sums
+
+    def test_spawn_series(self, tmp_path):
+        path = export_spawn_series({"fifer": _result()}, tmp_path / "s.csv")
+        rows = self._read(path)[1:]
+        assert [int(r[2]) for r in rows] == [1, 2, 3, 3, 3, 3]
+
+    def test_queuing_distribution(self, tmp_path):
+        path = export_queuing_distribution(
+            {"fifer": _result()}, tmp_path / "q.csv"
+        )
+        rows = self._read(path)
+        assert rows[0] == ["policy", "p10", "p25", "p50", "p75", "p90",
+                           "p95", "p99"]
+        values = [float(v) for v in rows[1][1:]]
+        assert values == sorted(values)
+
+    def test_export_all_writes_every_file(self, tmp_path):
+        paths = export_all({"fifer": _result()}, tmp_path, prefix="x")
+        assert set(paths) == {
+            "summary", "latency_cdf", "containers", "spawns", "queuing",
+        }
+        for path in paths.values():
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_empty_results_are_safe(self, tmp_path):
+        empty = _result()
+        empty.latencies_ms = np.array([])
+        empty.queue_ms = np.array([])
+        empty.container_samples = {}
+        paths = export_all({"fifer": empty}, tmp_path)
+        for path in paths.values():
+            assert path.exists()

@@ -1,0 +1,208 @@
+"""Tests for the state store, statistics helpers and metrics collector."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.energy import EnergyMeter, NodePowerModel
+from repro.cluster.node import Node
+from repro.metrics.collector import MetricsCollector, RunResult
+from repro.metrics.stats import cdf_points, percentile, summarize_latencies
+from repro.workflow.job import Job, JobStage
+from repro.workflow.statestore import StateStore
+from repro.workloads import get_application
+
+
+class TestStateStore:
+    def test_insert_and_get(self):
+        store = StateStore()
+        store.insert("jobs", 1, {"app": "ipa"})
+        assert store.get("jobs", 1) == {"app": "ipa"}
+        assert store.get("jobs", 2) is None
+
+    def test_update_merges(self):
+        store = StateStore()
+        store.insert("jobs", 1, {"a": 1})
+        store.update("jobs", 1, {"b": 2})
+        assert store.get("jobs", 1) == {"a": 1, "b": 2}
+
+    def test_update_upserts(self):
+        store = StateStore()
+        store.update("jobs", 9, {"x": 1})
+        assert store.get("jobs", 9) == {"x": 1}
+
+    def test_find_by_criteria(self):
+        store = StateStore()
+        store.insert("jobs", 1, {"app": "ipa", "done": True})
+        store.insert("jobs", 2, {"app": "img", "done": True})
+        store.insert("jobs", 3, {"app": "ipa", "done": False})
+        found = store.find("jobs", app="ipa", done=True)
+        assert len(found) == 1
+
+    def test_returns_copies_not_references(self):
+        store = StateStore()
+        store.insert("jobs", 1, {"a": 1})
+        doc = store.get("jobs", 1)
+        doc["a"] = 999
+        assert store.get("jobs", 1)["a"] == 1
+
+    def test_latency_accounting_within_paper_bound(self):
+        # Section 6.1.5: average access latency well within 1.25 ms.
+        store = StateStore(seed=1)
+        for i in range(500):
+            store.insert("jobs", i, {"i": i})
+            store.get("jobs", i)
+        assert store.reads == 500
+        assert store.writes == 500
+        assert store.mean_access_latency_ms < 1.25
+
+    def test_count(self):
+        store = StateStore()
+        store.insert("c", 1, {})
+        store.insert("c", 2, {})
+        assert store.count("c") == 2
+        assert store.count("empty") == 0
+
+
+class TestStatsHelpers:
+    def test_percentile_basic(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+        assert percentile([], 50) == 0.0
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_summary_keys(self):
+        s = summarize_latencies([10.0, 20.0, 30.0])
+        assert set(s) == {"mean", "p50", "p95", "p99", "max"}
+        assert s["mean"] == pytest.approx(20.0)
+        assert s["max"] == 30.0
+
+    def test_summary_empty(self):
+        assert summarize_latencies([])["p99"] == 0.0
+
+    def test_cdf_points_truncation(self):
+        values = list(range(100))
+        cut = cdf_points(values, up_to_percentile=95.0)
+        assert len(cut) == 95
+        assert cut[-1] <= 95
+
+
+def _completed_job(arrival, latency, app="ipa"):
+    job = Job(app=get_application(app), arrival_ms=arrival)
+    job.completion_ms = arrival + latency
+    per_stage = latency / job.app.n_stages
+    for stage in job.stages:
+        stage.enqueue_ms = arrival
+        stage.start_ms = arrival + per_stage * 0.4
+        stage.end_ms = arrival + per_stage
+        stage.exec_ms = per_stage * 0.5
+        stage.cold_start_wait_ms = per_stage * 0.1
+    return job
+
+
+class TestJobAccounting:
+    def test_response_latency(self):
+        job = _completed_job(100.0, 500.0)
+        assert job.response_latency_ms == 500.0
+        assert not job.violated_slo
+
+    def test_violation_flag(self):
+        assert _completed_job(0.0, 1500.0).violated_slo
+
+    def test_uncompleted_latency_raises(self):
+        job = Job(app=get_application("ipa"), arrival_ms=0.0)
+        with pytest.raises(RuntimeError):
+            _ = job.response_latency_ms
+
+    def test_stage_breakdown_sums(self):
+        job = _completed_job(0.0, 900.0)
+        assert job.total_queue_delay_ms == pytest.approx(
+            job.total_cold_start_wait_ms + job.total_batching_wait_ms
+        )
+
+    def test_remaining_work_decreases_by_stage(self):
+        job = Job(app=get_application("detect-fatigue"), arrival_ms=0.0)
+        works = [job.remaining_work_ms(i) for i in range(job.app.n_stages)]
+        assert works == sorted(works, reverse=True)
+        assert works[-1] > 0
+
+    def test_stage_defaults(self):
+        stage = JobStage(function="ASR")
+        assert stage.queue_delay_ms == 0.0
+        assert stage.batching_wait_ms == 0.0
+
+
+class TestMetricsCollector:
+    def _collector(self):
+        meter = EnergyMeter(model=NodePowerModel(), interval_ms=10_000.0)
+        return MetricsCollector(meter)
+
+    def test_finalize_empty_run(self):
+        collector = self._collector()
+        result = collector.finalize("bline", "heavy", "t", 0.0, {})
+        assert result.n_jobs == 0
+        assert result.slo_violation_rate == 0.0
+        assert result.avg_containers == 0.0
+        assert result.p99_breakdown()["exec_time"] == 0.0
+
+    def test_violation_rate_counts_incomplete(self):
+        collector = self._collector()
+        for _ in range(8):
+            collector.record_job_created()
+        for i in range(6):
+            collector.record_job_completed(_completed_job(0.0, 500.0))
+        result = collector.finalize("x", "m", "t", 1000.0, {})
+        assert result.n_incomplete == 2
+        assert result.slo_violation_rate == pytest.approx(2 / 8)
+
+    def test_latency_percentiles(self):
+        collector = self._collector()
+        for latency in [100.0, 200.0, 300.0, 2000.0]:
+            collector.record_job_created()
+            collector.record_job_completed(_completed_job(0.0, latency))
+        result = collector.finalize("x", "m", "t", 1000.0, {})
+        assert result.median_latency_ms == pytest.approx(250.0)
+        assert result.violations == 1
+
+    def test_sampling_containers(self):
+        collector = self._collector()
+
+        class FakePool:
+            n_containers = 3
+        nodes = [Node(node_id=0)]
+        collector.sample({"ASR": FakePool()}, nodes, 10_000.0)
+        collector.sample({"ASR": FakePool()}, nodes, 20_000.0)
+        result = collector.finalize("x", "m", "t", 20_000.0, {})
+        assert result.avg_containers == pytest.approx(3.0)
+        assert result.peak_containers == 3
+        assert result.energy_joules > 0
+
+    def test_stage_distribution_normalised(self):
+        collector = self._collector()
+
+        class P:
+            def __init__(self, n): self.n_containers = n
+        pools = {"A": P(3), "B": P(1)}
+        collector.sample(pools, [Node(node_id=0)], 10_000.0)
+        result = collector.finalize("x", "m", "t", 10_000.0, {})
+        dist = result.stage_container_distribution()
+        assert dist["A"] == pytest.approx(0.75)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_cumulative_spawn_series(self):
+        result = RunResult(
+            policy="x", mix="m", trace="t", duration_ms=30_000.0,
+            n_jobs=0, n_completed=0, n_incomplete=0,
+            latencies_ms=np.array([]), violations=0,
+            exec_ms=np.array([]), cold_wait_ms=np.array([]),
+            batch_wait_ms=np.array([]), queue_ms=np.array([]),
+            sample_times_ms=np.array([]), container_samples={},
+            total_spawns=3, spawns_per_pool={"A": 3},
+            spawn_times_ms={"A": [1000.0, 15_000.0, 16_000.0]},
+            rpc_per_pool={}, failed_spawns=0,
+            energy_joules=0.0, mean_power_w=0.0, mean_active_nodes=0.0,
+        )
+        series = result.cumulative_spawn_series(10_000.0)
+        assert list(series) == [1, 3, 3]
+        assert result.cold_starts == 3
