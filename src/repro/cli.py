@@ -3,6 +3,7 @@
 Commands:
 
 * ``run``      — simulate one policy on a workload mix and trace.
+* ``serve``    — serve a trace live on the wall clock (asyncio runtime).
 * ``compare``  — policies side by side (Figure 8 structure).
 * ``predict``  — train and score the eight forecasters (Figure 6).
 * ``figures``  — ASCII figures + CSV exports for a comparison.
@@ -87,6 +88,58 @@ def cmd_run(args: argparse.Namespace) -> int:
         title=f"{args.policy} on {args.mix} mix / {args.trace} trace "
               f"({result.n_jobs} jobs)",
     ))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a trace live: real asyncio gateway, workers, control loop."""
+    from repro.serve import ServeOptions, ServingRuntime
+
+    config = make_policy_config(args.policy, idle_timeout_ms=60_000.0)
+    predictor = None
+    if config.proactive_predictor == "lstm":
+        train_kind = "poisson" if "poisson" in args.trace else args.trace
+        predictor = pretrained_predictor(train_kind, mean_rate_rps=args.rate)
+    trace = _make_trace(args.trace, args.rate, args.duration, args.seed)
+    options = ServeOptions(
+        time_scale=args.time_scale,
+        max_pending=args.max_pending,
+        drain_timeout_ms=args.drain_timeout * 1000.0,
+        executor_workers=args.executor_workers,
+    )
+    runtime = ServingRuntime(
+        config=config,
+        mix=get_mix(args.mix),
+        cluster_spec=ClusterSpec(n_nodes=args.nodes),
+        predictor=predictor,
+        seed=args.seed,
+        options=options,
+    )
+    print(f"serving {trace.name} live for {args.duration:g}s "
+          f"(time scale {args.time_scale:g}x) ...")
+    result = runtime.run(trace)
+    print(format_table(
+        _RESULT_HEADERS, [_result_row(args.policy, result)],
+        title=f"live {args.policy} on {args.mix} mix / {args.trace} trace "
+              f"({result.n_jobs} jobs)",
+    ))
+    print(f"\npeak containers: {result.peak_containers}  "
+          f"shed: {runtime.shed_jobs}  "
+          f"drained: {'yes' if runtime.drain_completed else 'timed out'}")
+    if args.json_out:
+        from repro.experiments.export import export_json_summary
+
+        path = export_json_summary(
+            {args.policy: result},
+            args.json_out,
+            extras={args.policy: {
+                "mode": "live",
+                "time_scale": args.time_scale,
+                "shed_jobs": runtime.shed_jobs,
+                "drain_completed": runtime.drain_completed,
+            }},
+        )
+        print(f"JSON summary: {path}")
     return 0
 
 
@@ -234,6 +287,28 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("policy", choices=EXTENDED_POLICY_NAMES)
     add_common(run_p)
     run_p.set_defaults(func=cmd_run)
+
+    serve_p = sub.add_parser(
+        "serve", help="serve a trace live on the wall clock"
+    )
+    serve_p.add_argument("--policy", choices=EXTENDED_POLICY_NAMES,
+                         default="fifer")
+    add_common(serve_p)
+    serve_p.set_defaults(duration=10.0, rate=20.0)
+    serve_p.add_argument("--time-scale", type=float, default=1.0,
+                         help="wall seconds per model second "
+                              "(0.1 = 10x compressed)")
+    serve_p.add_argument("--max-pending", type=int, default=0,
+                         help="shed arrivals beyond this many in-flight "
+                              "jobs (0 = unbounded)")
+    serve_p.add_argument("--drain-timeout", type=float, default=120.0,
+                         help="graceful-drain bound after the trace ends, "
+                              "model seconds")
+    serve_p.add_argument("--executor-workers", type=int, default=0,
+                         help="worker threads (0 = size to the cluster)")
+    serve_p.add_argument("--json-out", default=None,
+                         help="write a structured JSON run summary here")
+    serve_p.set_defaults(func=cmd_serve)
 
     cmp_p = sub.add_parser("compare", help="compare policies side by side")
     cmp_p.add_argument("--policies", nargs="+",

@@ -1,4 +1,4 @@
-"""Container-count sizing from an arrival rate.
+"""Container sizing: counts from an arrival rate, batch sizes from slack.
 
 Both the static SBatch provisioner ("fix the number of containers based
 on the average arrival rates", section 5.3) and the proactive scalers
@@ -45,3 +45,24 @@ def containers_for_rate(
         return minimum
     offered_load = rate_rps * exec_ms / 1000.0  # Erlangs
     return max(minimum, math.ceil(offered_load / utilization_target))
+
+
+def batch_size_for(
+    stage_slack_ms: float, stage_exec_ms: float, max_batch: int = 64
+) -> int:
+    """``B_size = stage_slack / stage_exec`` clamped to [1, max_batch].
+
+    Zero or *negative* residual slack (a chain whose execution already
+    exceeds its SLO, or a stage observed mid-run with its slack spent)
+    degrades to ``B_size = 1`` — one request per container, the
+    baseline's mapping — rather than raising or returning 0.  A batch
+    size of 0 would make a stage unschedulable; a raise would take the
+    control loop down with it.
+    """
+    if stage_exec_ms <= 0:
+        raise ValueError("stage execution time must be positive")
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    if stage_slack_ms <= 0:
+        return 1
+    return int(max(1, min(max_batch, math.floor(stage_slack_ms / stage_exec_ms))))

@@ -19,10 +19,10 @@ clamped to ``[1, max_batch]`` — the queue wait of a full local queue,
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
+from repro.core.sizing import batch_size_for as _batch_size_for
 from repro.workloads.applications import Application
 
 #: Practical cap on a container's local-queue length; relevant only for
@@ -55,12 +55,12 @@ def distribute_slack(
 def batch_size_for(
     stage_slack_ms: float, stage_exec_ms: float, max_batch: int = DEFAULT_MAX_BATCH
 ) -> int:
-    """``B_size = stage_slack / stage_exec`` clamped to [1, max_batch]."""
-    if stage_exec_ms <= 0:
-        raise ValueError("stage execution time must be positive")
-    if stage_slack_ms < 0:
-        raise ValueError("stage slack must be non-negative")
-    return int(max(1, min(max_batch, math.floor(stage_slack_ms / stage_exec_ms))))
+    """``B_size = stage_slack / stage_exec`` clamped to [1, max_batch].
+
+    Delegates to :func:`repro.core.sizing.batch_size_for`, which owns
+    the clamp semantics (zero/negative residual slack degrades to 1).
+    """
+    return _batch_size_for(stage_slack_ms, stage_exec_ms, max_batch)
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,7 @@ gnuplot, spreadsheets) can regenerate the paper's figures from a run.
 from __future__ import annotations
 
 import csv
+import json
 import pathlib
 from typing import Dict, Sequence, Union
 
@@ -53,6 +54,62 @@ def export_summary(
          "cold_starts", "energy_joules"],
         rows,
     )
+
+
+def summary_record(result: RunResult, **extra) -> Dict[str, object]:
+    """One result as a flat JSON-ready record.
+
+    Field-compatible with :func:`export_summary`'s CSV columns, plus the
+    capacity metrics a live run is judged on (peak containers, failed
+    spawns, completion counts).  ``extra`` keys (e.g. shed counts or
+    wall-clock info from the serving runtime) are merged in.
+    """
+    s = result.summary()
+    record: Dict[str, object] = {
+        "policy": result.policy,
+        "mix": result.mix,
+        "trace": result.trace,
+        "duration_ms": float(result.duration_ms),
+        "jobs": int(s["jobs"]),
+        "completed": int(s["completed"]),
+        "slo_violation_rate": float(s["slo_violation_rate"]),
+        "median_latency_ms": float(s["median_latency_ms"]),
+        "p99_latency_ms": float(s["p99_latency_ms"]),
+        "avg_containers": float(s["avg_containers"]),
+        "peak_containers": int(result.peak_containers),
+        "cold_starts": int(s["cold_starts"]),
+        "failed_spawns": int(result.failed_spawns),
+        "energy_joules": float(s["energy_joules"]),
+        "mean_active_nodes": float(s["mean_active_nodes"]),
+    }
+    record.update(extra)
+    return record
+
+
+def export_json_summary(
+    results: Dict[str, RunResult],
+    path: PathLike,
+    extras: Union[Dict[str, Dict[str, object]], None] = None,
+) -> pathlib.Path:
+    """Write the per-policy summary records as a JSON document.
+
+    The structured sibling of :func:`export_summary` for machine
+    consumers (dashboards, CI trend lines).  ``extras`` maps a policy
+    name to additional per-run fields to merge into its record.
+    """
+    extras = extras or {}
+    payload = {
+        "results": [
+            summary_record(r, **extras.get(policy, {}))
+            for policy, r in results.items()
+        ]
+    }
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def export_latency_cdf(

@@ -1,0 +1,70 @@
+"""Wall-clock ↔ model-time mapping for the live runtime.
+
+Every brick of the reproduction — slacks, SLOs, cold starts, monitor
+intervals — is calibrated in *model milliseconds*.  The live runtime
+keeps those numbers untouched and instead scales the passage of wall
+time: with ``time_scale = s``, one model second takes ``s`` wall
+seconds.  ``time_scale = 1.0`` is real time; smaller values compress a
+run (0.05 ⇒ a 60 s model workload completes in 3 s) which keeps
+sim-vs-live parity tests affordable while preserving every *relative*
+timing relationship.
+
+The clock exposes ``now`` (model ms) so the simulator's pools and
+scalers — which only ever read ``sim.now`` — run against it unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+
+class ScaledClock:
+    """Monotonic wall clock reporting scaled model milliseconds.
+
+    Duck-types the one attribute of :class:`repro.sim.engine.Simulator`
+    that :class:`repro.workflow.pool.FunctionPool` reads: ``now``.
+    """
+
+    def __init__(self, time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.time_scale = time_scale
+        self._start_wall: Optional[float] = None
+
+    def start(self) -> None:
+        """Anchor model t=0 at the current wall instant (idempotent)."""
+        if self._start_wall is None:
+            self._start_wall = time.monotonic()
+
+    @property
+    def started(self) -> bool:
+        return self._start_wall is not None
+
+    @property
+    def now(self) -> float:
+        """Model milliseconds elapsed since :meth:`start`."""
+        if self._start_wall is None:
+            return 0.0
+        wall_s = time.monotonic() - self._start_wall
+        return wall_s / self.time_scale * 1000.0
+
+    def to_wall_s(self, model_ms: float) -> float:
+        """Wall seconds corresponding to a model-ms duration."""
+        return model_ms / 1000.0 * self.time_scale
+
+    async def sleep_ms(self, model_ms: float) -> None:
+        """Sleep for a model-ms duration (wall-scaled)."""
+        if model_ms > 0:
+            await asyncio.sleep(self.to_wall_s(model_ms))
+
+    async def sleep_until_ms(self, model_ms: float) -> None:
+        """Sleep until the model clock reaches *model_ms* (absolute).
+
+        Sleeping against the absolute deadline (not a chain of relative
+        naps) keeps a long replay from accumulating scheduler drift.
+        """
+        remaining = model_ms - self.now
+        if remaining > 0:
+            await asyncio.sleep(self.to_wall_s(remaining))

@@ -1,0 +1,45 @@
+"""Knobs specific to the live serving runtime.
+
+Everything *policy*-related lives in :class:`repro.core.policies
+.RMConfig`, shared verbatim with the simulator; :class:`ServeOptions`
+only holds what exists on a wall clock and not on a virtual one —
+time compression, admission control and drain behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Wall-clock runtime options.
+
+    Attributes:
+        time_scale: wall seconds per model second (1.0 = real time;
+            0.05 runs a 60 s model workload in 3 wall seconds).
+        max_pending: admission-control bound — jobs in flight beyond
+            this are shed at the gateway (the request still counts
+            against the SLO-violation rate; dropping load must not
+            launder the metrics).  ``0`` disables shedding.
+        drain_timeout_ms: model-ms bound on the graceful-drain wait for
+            in-flight jobs after the trace ends.
+        executor_workers: thread-pool size for executing task work; 0
+            sizes it to the cluster's container capacity (the hardware
+            concurrency bound the simulator models via placement).
+    """
+
+    time_scale: float = 1.0
+    max_pending: int = 0
+    drain_timeout_ms: float = 120_000.0
+    executor_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if self.max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        if self.drain_timeout_ms < 0:
+            raise ValueError("drain_timeout_ms must be >= 0")
+        if self.executor_workers < 0:
+            raise ValueError("executor_workers must be >= 0")

@@ -1,0 +1,88 @@
+"""The periodic control loop: the live analogue of the sim's monitor.
+
+Every monitoring interval (the paper's 10 s cadence, wall-scaled) one
+tick runs, in the same order as
+:meth:`repro.runtime.system.ServerlessSystem._tick_monitor`: reactive
+scaling, the HPA baseline, proactive (predictor-driven) scaling, idle
+reaping, then a metrics/energy sample.  The scalers are the simulator's
+own :mod:`repro.core.scaling` classes operating on live
+:class:`~repro.serve.pool.WorkerPool` objects — the control logic is
+shared, only the clock underneath differs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.core.policies import RMConfig
+from repro.core.scaling import HPAScaler, ProactiveScaler, ReactiveScaler
+from repro.metrics.collector import MetricsCollector
+from repro.serve.clock import ScaledClock
+from repro.serve.pool import WorkerPool
+
+
+class ControlLoop:
+    """Periodic scaling + sampling task on the scaled wall clock."""
+
+    def __init__(
+        self,
+        clock: ScaledClock,
+        pools: Dict[str, WorkerPool],
+        cluster: Cluster,
+        metrics: MetricsCollector,
+        config: RMConfig,
+        reactive: Optional[ReactiveScaler] = None,
+        hpa: Optional[HPAScaler] = None,
+        proactive: Optional[ProactiveScaler] = None,
+    ) -> None:
+        self.clock = clock
+        self.pools = pools
+        self.cluster = cluster
+        self.metrics = metrics
+        self.config = config
+        self.reactive = reactive
+        self.hpa = hpa
+        self.proactive = proactive
+        self.ticks = 0
+        self._task: Optional[asyncio.Task] = None
+
+    def tick(self, now_ms: float) -> None:
+        """One monitoring interval (same order as the simulator)."""
+        if self.reactive is not None:
+            self.reactive.tick(now_ms)
+        if self.hpa is not None:
+            self.hpa.tick(now_ms)
+        if self.proactive is not None:
+            self.proactive.tick(now_ms)
+        if not self.config.static_pool:
+            for pool in self.pools.values():
+                pool.reap_idle(self.config.idle_timeout_ms)
+        self.metrics.sample(self.pools, self.cluster.nodes, now_ms)
+        self.ticks += 1
+
+    async def _run(self) -> None:
+        interval = self.config.monitor_interval_ms
+        n = 1
+        while True:
+            # Absolute deadlines: a slow tick shortens the next sleep
+            # instead of shifting every subsequent tick.
+            await self.clock.sleep_until_ms(n * interval)
+            self.tick(self.clock.now)
+            n += 1
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="control-loop"
+            )
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None

@@ -1,0 +1,133 @@
+"""The admission gateway: where live requests enter the system.
+
+One :class:`Gateway` fronts a tenant's worker pools.  It admits jobs
+(function-chain invocations), applies backpressure — beyond
+``max_pending`` in-flight jobs, new arrivals are *shed* rather than
+queued without bound — and walks each admitted job through its chain,
+paying the same per-hop transition overhead the simulator models.
+
+Shed requests still count as created (and therefore as SLO violations)
+in the metrics: admission control protects the *system*, it must not
+launder the numbers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.metrics.collector import MetricsCollector
+from repro.prediction.windowed import WindowedMaxSampler
+from repro.serve.clock import ScaledClock
+from repro.workflow.job import Job, Task
+from repro.workflow.pool import FunctionPool
+from repro.workloads.applications import Application
+from repro.workloads.mixes import WorkloadMix
+
+
+class Gateway:
+    """Admission control + chain orchestration for one tenant."""
+
+    def __init__(
+        self,
+        clock: ScaledClock,
+        pools: Dict[str, FunctionPool],
+        mix: WorkloadMix,
+        metrics: MetricsCollector,
+        sampler: WindowedMaxSampler,
+        rng: np.random.Generator,
+        max_pending: int = 0,
+        input_scale_sampler: Optional[Callable[[np.random.Generator], float]] = None,
+    ) -> None:
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        self.clock = clock
+        self.pools = pools
+        self.mix = mix
+        self.metrics = metrics
+        self.sampler = sampler
+        self.rng = rng
+        self.max_pending = max_pending
+        self.input_scale_sampler = input_scale_sampler
+        self.in_flight = 0
+        self.admitted = 0
+        self.shed = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # -- request path ------------------------------------------------------
+
+    def admit(
+        self,
+        app: Optional[Application] = None,
+        input_scale: Optional[float] = None,
+    ) -> Optional[Job]:
+        """Admit one request; returns the Job, or None if shed.
+
+        Every arrival — shed or not — feeds the arrival-rate sampler
+        (the predictor must see offered load, not admitted load) and the
+        job counter (a shed request is an SLO violation, not a no-op).
+        """
+        now = self.clock.now
+        self.sampler.record(now)
+        self.metrics.record_job_created()
+        if self.max_pending and self.in_flight >= self.max_pending:
+            self.shed += 1
+            return None
+        if app is None:
+            app = self.mix.sample_application(self.rng)
+        if input_scale is None:
+            input_scale = (
+                self.input_scale_sampler(self.rng)
+                if self.input_scale_sampler is not None
+                else 1.0
+            )
+        job = Job(app=app, arrival_ms=now, input_scale=input_scale)
+        self.in_flight += 1
+        self.admitted += 1
+        self._idle.clear()
+        # Ingress hop: the transition overhead precedes every stage.
+        self._later(app.transition_overhead_ms, job, 0)
+        return job
+
+    def _later(self, overhead_ms: float, job: Job, stage_index: int) -> None:
+        asyncio.get_running_loop().call_later(
+            self.clock.to_wall_s(overhead_ms),
+            self._enqueue_stage,
+            job,
+            stage_index,
+        )
+
+    def _enqueue_stage(self, job: Job, stage_index: int) -> None:
+        task = Task(job=job, stage_index=stage_index, enqueue_ms=self.clock.now)
+        self.pools[task.function].enqueue(task)
+
+    def on_task_finished(self, task: Task) -> None:
+        """Pool callback: advance the chain or complete the job."""
+        job = task.job
+        if task.is_last_stage:
+            job.completion_ms = self.clock.now
+            self.metrics.record_job_completed(job)
+            self.in_flight -= 1
+            if self.in_flight == 0:
+                self._idle.set()
+        else:
+            self._later(job.app.transition_overhead_ms, job, task.stage_index + 1)
+
+    # -- drain -------------------------------------------------------------
+
+    async def drained(self, timeout_ms: Optional[float] = None) -> bool:
+        """Wait until no job is in flight; returns False on timeout.
+
+        ``timeout_ms`` is model time (wall-scaled like everything else).
+        """
+        timeout_s = (
+            self.clock.to_wall_s(timeout_ms) if timeout_ms is not None else None
+        )
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=timeout_s)
+            return True
+        except asyncio.TimeoutError:
+            return False

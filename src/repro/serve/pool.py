@@ -1,0 +1,248 @@
+"""Live worker pools: wall-clock "containers" behind the sim's pool API.
+
+A :class:`WorkerSlot` is the live analogue of
+:class:`repro.cluster.container.Container`: it pays a (scaled)
+cold-start delay before becoming ready, owns a batch-size local queue,
+and executes one task at a time — the actual work runs on a thread-pool
+executor so the event loop stays free.  It exposes the same capacity
+surface (``free_slots``, ``is_ready``, ``is_reapable``, ``assign`` …),
+so everything written against containers keeps working.
+
+:class:`WorkerPool` *is* a :class:`repro.workflow.pool.FunctionPool` —
+the only override is the container factory.  Global queues, LSF/FIFO
+scheduling, greedy dispatch, backlog spawning, idle reaping and all the
+load-monitor signals the scalers consume are the simulator's own code
+running against the scaled wall clock (which duck-types ``sim.now``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import deque
+from concurrent.futures import Executor
+from typing import Callable, Deque, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.cluster.container import ContainerState
+from repro.serve.clock import ScaledClock
+from repro.workflow.pool import FunctionPool
+from repro.workloads.microservices import Microservice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.workflow.job import Task
+
+_slot_ids = itertools.count()
+
+#: Executed on the executor for each task: (task, wall_seconds).  The
+#: default models opaque blocking work by sleeping; deployments plug in
+#: real handlers here.
+WorkFn = Callable[["Task", float], None]
+
+
+def default_work(task: "Task", wall_s: float) -> None:
+    """Stand-in for the microservice's real work: block for its span."""
+    if wall_s > 0:
+        time.sleep(wall_s)
+
+
+class WorkerSlot:
+    """One live worker ("container"): cold start, local queue, executor.
+
+    State transitions mirror the simulated container — SPAWNING until
+    the cold start elapses, then IDLE/BUSY, and TERMINATED on scale-in.
+    All mutation happens on the event-loop thread; the executor only
+    runs the opaque work function.
+    """
+
+    def __init__(
+        self,
+        clock: ScaledClock,
+        executor: Executor,
+        service: Microservice,
+        batch_size: int,
+        cold_start_ms: float,
+        node: "Node",
+        rng: np.random.Generator,
+        on_ready: Callable[["WorkerSlot"], None],
+        on_task_done: Callable[["WorkerSlot", "Task"], None],
+        work: Optional[WorkFn] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if cold_start_ms < 0:
+            raise ValueError("cold_start_ms must be non-negative")
+        self.container_id = next(_slot_ids)
+        self.clock = clock
+        self.executor = executor
+        self.service = service
+        self.batch_size = batch_size
+        self.node = node
+        self.rng = rng
+        self._on_ready = on_ready
+        self._on_task_done = on_task_done
+        self._work = work or default_work
+        self.state = ContainerState.SPAWNING
+        self.spawned_ms = clock.now
+        self.cold_start_ms = cold_start_ms
+        self.ready_at_ms = clock.now + cold_start_ms
+        self.local_queue: Deque["Task"] = deque()
+        self.current_task: Optional["Task"] = None
+        self.tasks_executed = 0
+        self.last_used_ms = clock.now
+        self.busy_time_ms = 0.0
+        self._wake = asyncio.Event()
+        self.runner: asyncio.Task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"worker-{service.name}-{self.container_id}"
+        )
+
+    # -- capacity (the Container surface the pools/scalers read) ----------
+
+    @property
+    def function(self) -> str:
+        return self.service.name
+
+    @property
+    def occupied_slots(self) -> int:
+        return len(self.local_queue) + (1 if self.current_task is not None else 0)
+
+    @property
+    def free_slots(self) -> int:
+        return self.batch_size - self.occupied_slots
+
+    @property
+    def is_ready(self) -> bool:
+        return self.state in (ContainerState.IDLE, ContainerState.BUSY)
+
+    @property
+    def is_reapable(self) -> bool:
+        return self.state == ContainerState.IDLE and not self.local_queue
+
+    # -- request path ------------------------------------------------------
+
+    def assign(self, task: "Task") -> None:
+        """Add *task* to the local queue (caller checked free_slots)."""
+        if self.state == ContainerState.TERMINATED:
+            raise RuntimeError(f"worker {self.container_id} is terminated")
+        if self.free_slots <= 0:
+            raise RuntimeError(f"worker {self.container_id} has no free slot")
+        self.local_queue.append(task)
+        self._wake.set()
+
+    async def _run(self) -> None:
+        await self.clock.sleep_ms(self.cold_start_ms)
+        if self.state == ContainerState.TERMINATED:
+            return
+        self.state = ContainerState.IDLE
+        self.last_used_ms = self.clock.now
+        self._on_ready(self)
+        loop = asyncio.get_running_loop()
+        while True:
+            if self.state == ContainerState.TERMINATED:
+                return
+            if not self.local_queue:
+                self.state = ContainerState.IDLE
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            task = self.local_queue.popleft()
+            self.current_task = task
+            self.state = ContainerState.BUSY
+            record = task.record
+            record.start_ms = self.clock.now
+            # Attribute the wait spent on this worker's cold start
+            # (Figure 9's breakdown), exactly as the simulator does.
+            if self.ready_at_ms > record.enqueue_ms:
+                record.cold_start_wait_ms = (
+                    min(self.ready_at_ms, record.start_ms) - record.enqueue_ms
+                )
+            exec_ms = self.service.exec_time_ms(
+                self.rng, input_scale=task.job.input_scale
+            )
+            record.exec_ms = exec_ms
+            await loop.run_in_executor(
+                self.executor, self._work, task, self.clock.to_wall_s(exec_ms)
+            )
+            record.end_ms = self.clock.now
+            self.busy_time_ms += exec_ms
+            self.tasks_executed += 1
+            self.last_used_ms = self.clock.now
+            self.current_task = None
+            if self.state == ContainerState.TERMINATED:
+                return
+            # Become IDLE *before* the completion callback when the local
+            # queue is empty, exactly like the simulated container: the
+            # single-use (brigade) path retires the worker inside it.
+            if not self.local_queue:
+                self.state = ContainerState.IDLE
+            self._on_task_done(self, task)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def terminate(self) -> None:
+        """Scale this worker in (must not be executing)."""
+        if self.current_task is not None or self.local_queue:
+            raise RuntimeError(
+                f"worker {self.container_id} still has work; cannot terminate"
+            )
+        self.state = ContainerState.TERMINATED
+        self._wake.set()
+
+    async def shutdown(self) -> None:
+        """Force-stop the runner (end-of-run teardown, any state)."""
+        self.state = ContainerState.TERMINATED
+        self._wake.set()
+        if not self.runner.done():
+            self.runner.cancel()
+        try:
+            await self.runner
+        except asyncio.CancelledError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<WorkerSlot {self.container_id} fn={self.function} "
+            f"state={self.state.value} slots={self.occupied_slots}/{self.batch_size}>"
+        )
+
+
+class WorkerPool(FunctionPool):
+    """A FunctionPool whose containers are live asyncio worker slots.
+
+    Everything else — global queue, dispatch, scaling hooks, monitor
+    signals, reaping — is inherited unchanged; ``sim`` is the scaled
+    wall clock (only ``sim.now`` is ever read).
+    """
+
+    def __init__(
+        self,
+        clock: ScaledClock,
+        executor: Executor,
+        work: Optional[WorkFn] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim=clock, **kwargs)
+        self.clock = clock
+        self.executor = executor
+        self.work = work
+
+    def _make_container(self, node, cold_start_ms: float) -> WorkerSlot:
+        return WorkerSlot(
+            clock=self.clock,
+            executor=self.executor,
+            service=self.service,
+            batch_size=self.batch_size,
+            cold_start_ms=cold_start_ms,
+            node=node,
+            rng=self.rng,
+            on_ready=self._on_container_ready,
+            on_task_done=self._on_task_done,
+            work=self.work,
+        )
+
+    async def shutdown(self) -> None:
+        """Stop every worker runner (terminated included — idempotent)."""
+        await asyncio.gather(*(slot.shutdown() for slot in self.containers))

@@ -1,0 +1,290 @@
+"""The live serving runtime: assemble, serve, drain, report.
+
+:class:`ServingRuntime` is the wall-clock sibling of
+:class:`repro.runtime.system.ServerlessSystem`.  The *offline* step —
+stage plans, slack division, batch sizes, stage shares, predictor
+resolution — is literally shared: the runtime instantiates a
+``ServerlessSystem`` for planning and never starts its event engine.
+At serve time the runtime builds live worker pools on a real cluster
+accounting model, wires the simulator's scalers into a periodic control
+loop, replays a trace through the gateway, drains gracefully, and
+finalizes the very same :class:`~repro.metrics.collector.RunResult`
+the simulator produces — one report path for both worlds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.coldstart import ColdStartModel
+from repro.cluster.energy import EnergyMeter, NodePowerModel
+from repro.core.policies import RMConfig, make_policy_config
+from repro.core.scaling import (
+    HPAScaler,
+    ProactiveScaler,
+    ReactiveScaler,
+    static_pool_sizes,
+)
+from repro.metrics.collector import MetricsCollector, RunResult
+from repro.prediction.base import Predictor
+from repro.prediction.windowed import WindowedMaxSampler
+from repro.runtime.system import ClusterSpec, ServerlessSystem
+from repro.serve.clock import ScaledClock
+from repro.serve.config import ServeOptions
+from repro.serve.control import ControlLoop
+from repro.serve.gateway import Gateway
+from repro.serve.pool import WorkerPool, WorkFn
+from repro.serve.replayer import TraceReplayer
+from repro.traces.base import ArrivalTrace
+from repro.workloads.mixes import WorkloadMix
+
+#: Hard ceiling on executor threads when sizing from cluster capacity.
+MAX_EXECUTOR_WORKERS = 512
+
+
+class ServingRuntime:
+    """One policy + workload mix serving live traffic on the wall clock."""
+
+    def __init__(
+        self,
+        config: RMConfig,
+        mix: WorkloadMix,
+        cluster_spec: ClusterSpec = ClusterSpec(),
+        predictor: Optional[Predictor] = None,
+        cold_start_model: Optional[ColdStartModel] = None,
+        power_model: Optional[NodePowerModel] = None,
+        seed: int = 0,
+        options: ServeOptions = ServeOptions(),
+        work: Optional[WorkFn] = None,
+        input_scale_sampler: Optional[Callable[[np.random.Generator], float]] = None,
+    ) -> None:
+        self.config = config
+        self.mix = mix
+        self.cluster_spec = cluster_spec
+        self.seed = seed
+        self.options = options
+        self.work = work
+        self.input_scale_sampler = input_scale_sampler
+        self.cold_start_model = cold_start_model or ColdStartModel()
+        self.power_model = power_model or NodePowerModel()
+        # Offline planning step, shared verbatim with the simulator:
+        # stage plans, batch sizes, slacks, shares, predictor resolution.
+        # The planner's event engine is never started.
+        self._planner = ServerlessSystem(
+            config=config,
+            mix=mix,
+            cluster_spec=cluster_spec,
+            predictor=predictor,
+            cold_start_model=self.cold_start_model,
+            power_model=self.power_model,
+            seed=seed,
+        )
+        self.predictor = self._planner.predictor
+        self.batch_sizes = self._planner.batch_sizes
+        self.stage_slacks = self._planner.stage_slacks
+        self.stage_responses = self._planner.stage_responses
+        self.stage_shares = self._planner.stage_shares
+        # Populated by serve().
+        self.clock: Optional[ScaledClock] = None
+        self.pools: Dict[str, WorkerPool] = {}
+        self.gateway: Optional[Gateway] = None
+        self.control: Optional[ControlLoop] = None
+        self.replayer: Optional[TraceReplayer] = None
+        self.drain_completed: bool = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def _build(self, executor: ThreadPoolExecutor) -> None:
+        config = self.config
+        self.clock = ScaledClock(self.options.time_scale)
+        self.cluster = Cluster(
+            n_nodes=self.cluster_spec.n_nodes,
+            cores_per_node=self.cluster_spec.cores_per_node,
+            memory_per_node_mb=self.cluster_spec.memory_per_node_mb,
+            policy=config.placement,
+        )
+        rng_apps = np.random.default_rng(self.seed)
+        rng_exec = np.random.default_rng(self.seed + 1)
+        self.sampler = WindowedMaxSampler(interval_ms=config.monitor_interval_ms)
+        self.energy_meter = EnergyMeter(
+            model=self.power_model, interval_ms=config.monitor_interval_ms
+        )
+        self.metrics = MetricsCollector(self.energy_meter)
+        self.pools = {}
+        self.gateway = Gateway(
+            clock=self.clock,
+            pools=self.pools,
+            mix=self.mix,
+            metrics=self.metrics,
+            sampler=self.sampler,
+            rng=rng_apps,
+            max_pending=self.options.max_pending,
+            input_scale_sampler=self.input_scale_sampler,
+        )
+        for name in self.mix.function_names():
+            svc = self._planner._service(name)
+            self.pools[name] = WorkerPool(
+                clock=self.clock,
+                executor=executor,
+                work=self.work,
+                service=svc,
+                cluster=self.cluster,
+                batch_size=self.batch_sizes[name],
+                stage_slack_ms=self.stage_slacks[name],
+                stage_response_ms=self.stage_responses[name],
+                scheduling=config.scheduling,
+                cold_start=self.cold_start_model,
+                rng=rng_exec,
+                on_task_finished=self.gateway.on_task_finished,
+                spawn_on_demand=config.spawn_on_demand,
+                reap_exempt=config.static_pool,
+                delay_window_ms=config.monitor_interval_ms,
+                single_use=config.single_use,
+            )
+        for pool in self.pools.values():
+            pool.reclaim_callback = self._reclaim_idle_capacity
+        reactive = ReactiveScaler(self.pools) if config.reactive else None
+        hpa = (
+            HPAScaler(self.pools, target_concurrency=config.hpa_target_concurrency)
+            if config.hpa
+            else None
+        )
+        proactive = (
+            ProactiveScaler(
+                pools=self.pools,
+                predictor=self.predictor,
+                sampler=self.sampler,
+                stage_shares=self.stage_shares,
+                utilization_target=config.utilization_target,
+            )
+            if self.predictor is not None
+            else None
+        )
+        self.control = ControlLoop(
+            clock=self.clock,
+            pools=self.pools,
+            cluster=self.cluster,
+            metrics=self.metrics,
+            config=config,
+            reactive=reactive,
+            hpa=hpa,
+            proactive=proactive,
+        )
+
+    def _reclaim_idle_capacity(self) -> bool:
+        """Free one idle worker cluster-wide under placement pressure."""
+        candidates = sorted(
+            self.pools.values(),
+            key=lambda p: sum(1 for c in p.containers if c.is_reapable),
+            reverse=True,
+        )
+        for pool in candidates:
+            if pool.reap_exempt:
+                continue
+            if pool.reclaim_one_idle():
+                return True
+        return False
+
+    def _prewarm(self, trace: ArrivalTrace) -> None:
+        """Start from steady state, exactly like the simulator's attach()."""
+        if self.config.static_pool:
+            rate = trace.mean_rate_rps
+        else:
+            opening = trace.rate_series(10_000.0)
+            rate = float(opening[:6].mean()) if opening.size else 0.0
+        sizes = static_pool_sizes(
+            self.pools,
+            rate,
+            self.stage_shares,
+            utilization_target=self.config.utilization_target,
+        )
+        for name, n in sizes.items():
+            self.pools[name].prewarm(n)
+
+    # -- execution ---------------------------------------------------------
+
+    async def serve(self, trace: ArrivalTrace) -> RunResult:
+        """Serve *trace* end to end on the wall clock; returns metrics."""
+        executor = ThreadPoolExecutor(
+            max_workers=self._executor_workers(),
+            thread_name_prefix="repro-serve",
+        )
+        try:
+            self._build(executor)
+            assert self.clock is not None and self.gateway is not None
+            self.clock.start()
+            self._prewarm(trace)
+            self.control.start()
+            self.replayer = TraceReplayer(
+                trace,
+                self.mix,
+                seed=self.seed,
+                input_scale_sampler=self.input_scale_sampler,
+            )
+            await self.replayer.replay(self.gateway, self.clock)
+            # Graceful drain: let in-flight jobs finish (bounded), with
+            # the control loop still scaling/sampling, as in the sim.
+            self.drain_completed = await self.gateway.drained(
+                timeout_ms=self.options.drain_timeout_ms
+            )
+            await self.control.stop()
+            # The simulator's drain always reaches a monitor tick
+            # (virtual time jumps to it); a short live run can finish
+            # before the first one.  One closing tick keeps the
+            # container/energy samples comparable.
+            self.control.tick(self.clock.now)
+            for pool in self.pools.values():
+                await pool.shutdown()
+        finally:
+            executor.shutdown(wait=True)
+        return self.metrics.finalize(
+            policy=self.config.name,
+            mix=self.mix.name,
+            trace=trace.name,
+            duration_ms=self.clock.now,
+            pools=self.pools,
+        )
+
+    def _executor_workers(self) -> int:
+        if self.options.executor_workers:
+            return self.options.executor_workers
+        capacity = self.cluster_spec.n_nodes * self.cluster_spec.cores_per_node
+        return max(4, min(int(capacity * 2), MAX_EXECUTOR_WORKERS))
+
+    def run(self, trace: ArrivalTrace) -> RunResult:
+        """Synchronous entry point: serve *trace* in a fresh event loop."""
+        return asyncio.run(self.serve(trace))
+
+    @property
+    def shed_jobs(self) -> int:
+        return self.gateway.shed if self.gateway is not None else 0
+
+
+def serve_trace(
+    policy_name: str,
+    mix: WorkloadMix,
+    trace: ArrivalTrace,
+    cluster_spec: ClusterSpec = ClusterSpec(),
+    predictor: Optional[Predictor] = None,
+    seed: int = 0,
+    options: ServeOptions = ServeOptions(),
+    work: Optional[WorkFn] = None,
+    **config_overrides,
+) -> RunResult:
+    """Convenience one-call live runner, mirroring ``run_policy``."""
+    config = make_policy_config(policy_name, **config_overrides)
+    runtime = ServingRuntime(
+        config=config,
+        mix=mix,
+        cluster_spec=cluster_spec,
+        predictor=predictor,
+        seed=seed,
+        options=options,
+        work=work,
+    )
+    return runtime.run(trace)

@@ -220,23 +220,30 @@ class FunctionPool:
             if node is None:
                 self.failed_spawns += 1
                 continue
-            container = Container(
-                sim=self.sim,
-                service=self.service,
-                batch_size=self.batch_size,
-                cold_start_ms=self.cold_start.sample_ms(self.function, self.rng),
-                node=node,
-                rng=self.rng,
-                on_ready=self._on_container_ready,
-                on_task_done=self._on_task_done,
-                fault_model=self.fault_model,
-                on_crashed=self._on_container_crashed,
+            container = self._make_container(
+                node, self.cold_start.sample_ms(self.function, self.rng)
             )
             self.containers.append(container)
             self.total_spawns += 1
             self.spawn_times_ms.append(self.sim.now)
             new_containers.append(container)
         return new_containers
+
+    def _make_container(self, node, cold_start_ms: float) -> Container:
+        """Container factory; the live serving runtime overrides this to
+        create wall-clock worker slots instead of simulated containers."""
+        return Container(
+            sim=self.sim,
+            service=self.service,
+            batch_size=self.batch_size,
+            cold_start_ms=cold_start_ms,
+            node=node,
+            rng=self.rng,
+            on_ready=self._on_container_ready,
+            on_task_done=self._on_task_done,
+            fault_model=self.fault_model,
+            on_crashed=self._on_container_crashed,
+        )
 
     def scale_up_to(self, n_target: int) -> int:
         """Ensure at least *n_target* live containers; returns spawns."""
@@ -257,18 +264,7 @@ class FunctionPool:
             )
             if node is None:
                 break
-            container = Container(
-                sim=self.sim,
-                service=self.service,
-                batch_size=self.batch_size,
-                cold_start_ms=0.0,
-                node=node,
-                rng=self.rng,
-                on_ready=self._on_container_ready,
-                on_task_done=self._on_task_done,
-                fault_model=self.fault_model,
-                on_crashed=self._on_container_crashed,
-            )
+            container = self._make_container(node, 0.0)
             self.containers.append(container)
             self.prewarmed += 1
             placed += 1

@@ -68,9 +68,16 @@ class TestBatchSize:
         with pytest.raises(ValueError):
             batch_size_for(100.0, 0.0)
 
-    def test_invalid_slack(self):
+    def test_negative_slack_clamps_to_one(self):
+        # A stage can end up with zero or negative residual slack (SLO
+        # already blown upstream); sizing must degrade to no batching,
+        # never raise or return 0.
+        assert batch_size_for(-1.0, 10.0) == 1
+        assert batch_size_for(-1e9, 10.0) == 1
+
+    def test_invalid_max_batch(self):
         with pytest.raises(ValueError):
-            batch_size_for(-1.0, 10.0)
+            batch_size_for(100.0, 10.0, max_batch=0)
 
 
 class TestStagePlan:

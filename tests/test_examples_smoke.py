@@ -31,6 +31,17 @@ class TestExampleSmoke:
         assert "face-security" in out
         assert "SLO sensitivity" in out
 
+    def test_live_serving_runs(self, capsys):
+        module = _load("live_serving")
+        # Shrink the demo so the smoke test stays fast: 10 model
+        # seconds at 50x compression is ~0.2 wall seconds of serving.
+        module.DURATION_S = 10.0
+        module.TIME_SCALE = 0.02
+        module.main()
+        out = capsys.readouterr().out
+        assert "sim" in out and "live" in out
+        assert "drained=yes" in out
+
     def test_custom_chains_helpers(self, capsys):
         module = _load("custom_chains")
         # main() runs two simulations; keep the smoke test at the

@@ -242,3 +242,32 @@ class TestCLI:
         from repro.cli import main
         with pytest.raises(SystemExit):
             main(["run", "magic"])
+
+    def test_serve_help(self, capsys):
+        from repro.cli import main
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--policy", "--time-scale", "--max-pending",
+                     "--json-out", "--drain-timeout"):
+            assert flag in out
+
+    def test_serve_command(self, capsys, tmp_path):
+        import json
+        from repro.cli import main
+        json_path = tmp_path / "serve.json"
+        assert main([
+            "serve", "--policy", "rscale", "--trace", "poisson",
+            "--duration", "4", "--rate", "10", "--mix", "light",
+            "--time-scale", "0.05", "--json-out", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live rscale" in out and "SLO viol" in out
+        assert "drained: yes" in out
+        payload = json.loads(json_path.read_text())
+        (record,) = payload["results"]
+        assert record["policy"] == "rscale"
+        assert record["mode"] == "live"
+        assert record["jobs"] > 0
+        assert record["drain_completed"] is True

@@ -1,0 +1,77 @@
+"""Sim-vs-live parity: the serving runtime must agree with the simulator.
+
+Same policy, mix, trace and seed through both worlds.  The replayer
+draws applications from the same seeded stream as the simulator, so the
+offered workload is bit-identical; what differs is only the clock (the
+live run compresses time 20x) and real scheduling jitter.  Tolerances
+(documented in EXPERIMENTS.md §live-serving):
+
+* job count — exactly equal (deterministic replay),
+* SLO-violation rate — within 0.10 absolute,
+* peak concurrent containers — within 2,
+* median latency — live may exceed sim by at most 250 model ms
+  (event-loop jitter is amplified 20x by the compressed clock).
+"""
+
+import pytest
+
+from repro.runtime.system import run_policy
+from repro.serve import ServeOptions, serve_trace
+from repro.traces import poisson_trace
+from repro.workloads import get_mix
+
+POLICY = "rscale"  # reactive-only: no offline predictor training needed
+MIX = "medium"
+RATE_RPS = 15.0
+DURATION_S = 30.0
+SEED = 0
+TIME_SCALE = 0.05  # 30 model seconds in 1.5 wall seconds
+
+SLO_TOLERANCE = 0.10
+PEAK_TOLERANCE = 2
+MEDIAN_SLACK_MS = 250.0
+
+
+@pytest.fixture(scope="module")
+def pair():
+    mix = get_mix(MIX)
+    trace = poisson_trace(RATE_RPS, DURATION_S, seed=SEED)
+    sim = run_policy(
+        POLICY, mix, trace, seed=SEED, idle_timeout_ms=60_000.0
+    )
+    live = serve_trace(
+        POLICY, mix, trace, seed=SEED,
+        options=ServeOptions(time_scale=TIME_SCALE),
+        idle_timeout_ms=60_000.0,
+    )
+    return sim, live
+
+
+class TestSimLiveParity:
+    def test_same_offered_workload(self, pair):
+        sim, live = pair
+        assert live.n_jobs == sim.n_jobs
+        assert live.trace == sim.trace
+        assert live.policy == sim.policy
+
+    def test_all_jobs_complete(self, pair):
+        sim, live = pair
+        assert sim.n_incomplete == 0
+        assert live.n_incomplete == 0
+
+    def test_slo_violation_rate_within_tolerance(self, pair):
+        sim, live = pair
+        assert abs(live.slo_violation_rate - sim.slo_violation_rate) \
+            <= SLO_TOLERANCE
+
+    def test_peak_containers_within_tolerance(self, pair):
+        sim, live = pair
+        assert abs(live.peak_containers - sim.peak_containers) \
+            <= PEAK_TOLERANCE
+
+    def test_median_latency_close(self, pair):
+        sim, live = pair
+        # Live latency is sim latency plus bounded wall-clock jitter —
+        # it should never be *faster* than the model by more than noise.
+        assert live.median_latency_ms >= sim.median_latency_ms - 50.0
+        assert live.median_latency_ms <= sim.median_latency_ms + MEDIAN_SLACK_MS
