@@ -91,9 +91,22 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_brownout(spec: Optional[str]):
+    """Parse ``START:END:FACTOR`` (model seconds + multiplier)."""
+    if not spec:
+        return None
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise SystemExit(
+            f"--registry-brownout expects START:END:FACTOR, got {spec!r}"
+        )
+    start_s, end_s, factor = (float(p) for p in parts)
+    return start_s * 1000.0, end_s * 1000.0, factor
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve a trace live: real asyncio gateway, workers, control loop."""
-    from repro.serve import ServeOptions, ServingRuntime
+    from repro.serve import FaultConfig, RetryPolicy, ServeOptions, ServingRuntime
 
     config = make_policy_config(args.policy, idle_timeout_ms=60_000.0)
     predictor = None
@@ -101,11 +114,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
         train_kind = "poisson" if "poisson" in args.trace else args.trace
         predictor = pretrained_predictor(train_kind, mean_rate_rps=args.rate)
     trace = _make_trace(args.trace, args.rate, args.duration, args.seed)
+    brownout = _parse_brownout(args.registry_brownout)
+    faults = FaultConfig(
+        crash_prob=args.crash_prob,
+        hang_prob=args.hang_prob,
+        brownout_start_ms=brownout[0] if brownout else 0.0,
+        brownout_end_ms=brownout[1] if brownout else 0.0,
+        brownout_factor=brownout[2] if brownout else 3.0,
+        kill_workers_at_ms=(
+            args.kill_workers_at * 1000.0
+            if args.kill_workers_at is not None
+            else None
+        ),
+    )
+    retry = RetryPolicy(
+        max_attempts=args.max_retries + 1,
+        deadline_grace_ms=args.retry_deadline_grace,
+    )
     options = ServeOptions(
         time_scale=args.time_scale,
         max_pending=args.max_pending,
         drain_timeout_ms=args.drain_timeout * 1000.0,
         executor_workers=args.executor_workers,
+        retry=retry,
+        faults=faults,
+        shed_expired=args.shed_expired,
     )
     runtime = ServingRuntime(
         config=config,
@@ -126,6 +159,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"\npeak containers: {result.peak_containers}  "
           f"shed: {runtime.shed_jobs}  "
           f"drained: {'yes' if runtime.drain_completed else 'timed out'}")
+    resilient = (
+        result.n_failed or result.task_retries or result.container_crashes
+        or result.task_timeouts or result.dead_lettered or result.tick_errors
+        or result.degraded_spawns
+    )
+    if resilient:
+        from repro.experiments.report import RESILIENCE_HEADERS, resilience_rows
+
+        print()
+        print(format_table(
+            RESILIENCE_HEADERS,
+            resilience_rows({args.policy: result}),
+            title="resilience counters:",
+        ))
     if args.json_out:
         from repro.experiments.export import export_json_summary
 
@@ -136,7 +183,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 "mode": "live",
                 "time_scale": args.time_scale,
                 "shed_jobs": runtime.shed_jobs,
+                "shed_deadline": runtime.gateway.shed_deadline,
                 "drain_completed": runtime.drain_completed,
+                "in_flight": runtime.gateway.in_flight,
+                "duplicate_completions": runtime.gateway.duplicate_completions,
+                "supervised_respawns": runtime.control.supervised_respawns,
+                "workers_killed": (
+                    runtime.chaos.workers_killed if runtime.chaos else 0
+                ),
             }},
         )
         print(f"JSON summary: {path}")
@@ -308,6 +362,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker threads (0 = size to the cluster)")
     serve_p.add_argument("--json-out", default=None,
                          help="write a structured JSON run summary here")
+    serve_p.add_argument("--crash-prob", type=float, default=0.0,
+                         help="chaos: per-task worker-crash probability")
+    serve_p.add_argument("--hang-prob", type=float, default=0.0,
+                         help="chaos: per-task hang probability (recovered "
+                              "by the execution timeout)")
+    serve_p.add_argument("--registry-brownout", default=None,
+                         metavar="START:END:FACTOR",
+                         help="chaos: inflate cold starts by FACTOR between "
+                              "START and END model seconds")
+    serve_p.add_argument("--kill-workers-at", type=float, default=None,
+                         metavar="SECONDS",
+                         help="chaos: kill the busiest node's worker group "
+                              "at this model time")
+    serve_p.add_argument("--max-retries", type=int, default=2,
+                         help="retries per task before dead-lettering")
+    serve_p.add_argument("--retry-deadline-grace", type=float, default=None,
+                         metavar="MS",
+                         help="deadline budget: skip retries whose backoff "
+                              "exceeds residual slack plus this grace "
+                              "(default: no deadline check)")
+    serve_p.add_argument("--shed-expired", action="store_true",
+                         help="shed arrivals whose slack is already gone "
+                              "given the first stage's queueing delay")
     serve_p.set_defaults(func=cmd_serve)
 
     cmp_p = sub.add_parser("compare", help="compare policies side by side")

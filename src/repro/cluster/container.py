@@ -30,7 +30,16 @@ class ContainerState(enum.Enum):
     SPAWNING = "spawning"
     IDLE = "idle"
     BUSY = "busy"
+    #: Died mid-execution (work-function exception, enforced execution
+    #: timeout, or injected fault).  Like TERMINATED the container is
+    #: gone, but the distinction lets supervisors and metrics tell
+    #: scale-in from failure.
+    CRASHED = "crashed"
     TERMINATED = "terminated"
+
+
+#: States in which a container no longer exists on its node.
+DEAD_STATES = (ContainerState.CRASHED, ContainerState.TERMINATED)
 
 
 class Container:
@@ -101,7 +110,7 @@ class Container:
     # -- lifecycle ----------------------------------------------------------
 
     def _become_ready(self) -> None:
-        if self.state == ContainerState.TERMINATED:
+        if self.state in DEAD_STATES:
             return
         self.state = ContainerState.IDLE
         self.last_used_ms = self.sim.now
@@ -110,8 +119,8 @@ class Container:
 
     def assign(self, task: "Task") -> None:
         """Add *task* to the local queue (caller checked free_slots)."""
-        if self.state == ContainerState.TERMINATED:
-            raise RuntimeError(f"container {self.container_id} is terminated")
+        if self.state in DEAD_STATES:
+            raise RuntimeError(f"container {self.container_id} is dead")
         if self.free_slots <= 0:
             raise RuntimeError(f"container {self.container_id} has no free slot")
         self.local_queue.append(task)
@@ -152,17 +161,17 @@ class Container:
             self.sim.schedule(exec_ms, self._complete, label="task-complete")
 
     def _crash(self) -> None:
-        if self.state == ContainerState.TERMINATED:
+        if self.state in DEAD_STATES:
             return
         task = self.current_task
         self.current_task = None
         self.crashes += 1
-        self.state = ContainerState.TERMINATED
+        self.state = ContainerState.CRASHED
         if task is not None and self._on_crashed is not None:
             self._on_crashed(self, task)
 
     def _complete(self) -> None:
-        if self.state == ContainerState.TERMINATED or self.current_task is None:
+        if self.state in DEAD_STATES or self.current_task is None:
             # The container was killed (node failure / crash) while this
             # completion event was in flight; the task was re-enqueued.
             return

@@ -114,14 +114,16 @@ def fail_node(node: "Node", pools: List["FunctionPool"], now_ms: float) -> int:
         for container in list(pool.containers):
             if container.node is not node:
                 continue
-            if container.state.value == "terminated":
+            if container.state.value in ("terminated", "crashed"):
                 continue
             destroyed += 1
             requeue = list(container.local_queue)
             container.local_queue.clear()
             inflight = container.current_task
             container.current_task = None
-            container.state = type(container.state).TERMINATED
+            # terminate() (not a bare state write) so live worker slots
+            # also wake their runner task and exit promptly.
+            container.terminate()
             pool.retired_task_counts.append(container.tasks_executed)
             pool.cluster.release(
                 node, now_ms,
@@ -131,11 +133,9 @@ def fail_node(node: "Node", pools: List["FunctionPool"], now_ms: float) -> int:
             if inflight is not None:
                 requeue.insert(0, inflight)
             for task in requeue:
-                record = task.record
-                record.start_ms = -1.0
-                record.cold_start_wait_ms = 0.0
-                pool.queue.push(task)
-                pool._waiting.append(task)
+                # Exactly one queue entry per orphan (requeue() drops any
+                # stale copy from the waiting view) and one counted retry.
+                pool.requeue(task)
         pool._compact()
         pool.dispatch()
     return destroyed

@@ -46,12 +46,18 @@ def export_summary(
             f"{s['avg_containers']:.3f}",
             int(s["cold_starts"]),
             f"{s['energy_joules']:.1f}",
+            int(s["failed"]),
+            int(s["task_retries"]),
+            int(s["container_crashes"]),
+            int(s["dead_lettered"]),
+            int(s["shed_jobs"]),
         ])
     return _write_rows(
         path,
         ["policy", "mix", "trace", "jobs", "slo_violation_rate",
          "median_latency_ms", "p99_latency_ms", "avg_containers",
-         "cold_starts", "energy_joules"],
+         "cold_starts", "energy_joules", "failed", "task_retries",
+         "container_crashes", "dead_lettered", "shed_jobs"],
         rows,
     )
 
@@ -81,6 +87,15 @@ def summary_record(result: RunResult, **extra) -> Dict[str, object]:
         "failed_spawns": int(result.failed_spawns),
         "energy_joules": float(s["energy_joules"]),
         "mean_active_nodes": float(s["mean_active_nodes"]),
+        # Resilience counters (supervised workers + retry layer).
+        "failed": int(s["failed"]),
+        "task_retries": int(s["task_retries"]),
+        "container_crashes": int(s["container_crashes"]),
+        "task_timeouts": int(s["task_timeouts"]),
+        "dead_lettered": int(s["dead_lettered"]),
+        "tick_errors": int(s["tick_errors"]),
+        "degraded_spawns": int(s["degraded_spawns"]),
+        "shed_jobs": int(s["shed_jobs"]),
     }
     record.update(extra)
     return record

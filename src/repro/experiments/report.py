@@ -2,7 +2,36 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Columns of :func:`resilience_rows`, in order.
+RESILIENCE_HEADERS: Tuple[str, ...] = (
+    "policy", "failed", "retries", "crashes", "timeouts",
+    "dead_lettered", "shed", "degraded_spawns", "tick_errors",
+)
+
+
+def resilience_rows(results: Dict[str, "object"]) -> List[List[object]]:
+    """Per-policy resilience counters as table rows.
+
+    Pairs with :data:`RESILIENCE_HEADERS` for :func:`format_table`;
+    consumers typically print it only when any counter is nonzero
+    (fault-free runs should stay quiet).
+    """
+    rows: List[List[object]] = []
+    for policy, r in results.items():
+        rows.append([
+            policy,
+            int(r.n_failed),
+            int(r.task_retries),
+            int(r.container_crashes),
+            int(r.task_timeouts),
+            int(r.dead_lettered),
+            int(r.shed_jobs),
+            int(r.degraded_spawns),
+            int(r.tick_errors),
+        ])
+    return rows
 
 
 def format_table(

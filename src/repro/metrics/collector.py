@@ -52,6 +52,26 @@ class RunResult:
     energy_joules: float
     mean_power_w: float
     mean_active_nodes: float
+    # Resilience (defaulted so legacy construction sites stay valid).
+    #: Jobs that terminated with an explicit ``failed`` outcome
+    #: (dead-lettered by the retry layer).  failed ⊂ incomplete, so
+    #: ``slo_violation_rate`` already accounts for them.
+    n_failed: int = 0
+    #: Tasks requeued after a failed attempt, summed over pools.
+    task_retries: int = 0
+    #: Workers that crashed mid-execution (injected or organic).
+    container_crashes: int = 0
+    #: Executions reclaimed by the per-task timeout (hung workers).
+    task_timeouts: int = 0
+    #: Tasks parked in the dead-letter queue (attempt/deadline budget
+    #: exhausted), summed over pools.
+    dead_lettered: int = 0
+    #: Control-loop tick steps that raised and were contained.
+    tick_errors: int = 0
+    #: Cold starts inflated by a registry brownout.
+    degraded_spawns: int = 0
+    #: Arrivals shed at the gateway (backpressure + deadline shedding).
+    shed_jobs: int = 0
 
     # -- derived -------------------------------------------------------------
 
@@ -137,6 +157,14 @@ class RunResult:
             "cold_starts": float(self.cold_starts),
             "energy_joules": self.energy_joules,
             "mean_active_nodes": self.mean_active_nodes,
+            "failed": float(self.n_failed),
+            "task_retries": float(self.task_retries),
+            "container_crashes": float(self.container_crashes),
+            "task_timeouts": float(self.task_timeouts),
+            "dead_lettered": float(self.dead_lettered),
+            "tick_errors": float(self.tick_errors),
+            "degraded_spawns": float(self.degraded_spawns),
+            "shed_jobs": float(self.shed_jobs),
         }
 
 
@@ -146,6 +174,7 @@ class MetricsCollector:
     def __init__(self, energy_meter: EnergyMeter) -> None:
         self.energy_meter = energy_meter
         self.completed_jobs: List[Job] = []
+        self.failed_jobs: List[Job] = []
         self.jobs_created = 0
         self.sample_times: List[float] = []
         self.pool_samples: Dict[str, List[int]] = {}
@@ -155,6 +184,13 @@ class MetricsCollector:
 
     def record_job_completed(self, job: Job) -> None:
         self.completed_jobs.append(job)
+
+    def record_job_failed(self, job: Job) -> None:
+        """A job terminated with an explicit failed outcome (its task
+        was dead-lettered).  Failed jobs stay outside ``n_completed``;
+        they are a labelled subset of the incomplete count, so the
+        SLO-violation rate already penalises them."""
+        self.failed_jobs.append(job)
 
     def sample(
         self,
@@ -181,6 +217,9 @@ class MetricsCollector:
         trace: str,
         duration_ms: float,
         pools: Dict[str, FunctionPool],
+        tick_errors: int = 0,
+        degraded_spawns: int = 0,
+        shed_jobs: int = 0,
     ) -> RunResult:
         jobs = self.completed_jobs
         latencies = np.array([j.response_latency_ms for j in jobs])
@@ -214,4 +253,12 @@ class MetricsCollector:
             energy_joules=self.energy_meter.total_joules,
             mean_power_w=self.energy_meter.mean_power_w,
             mean_active_nodes=self.energy_meter.mean_active_nodes,
+            n_failed=len(self.failed_jobs),
+            task_retries=sum(p.task_retries for p in pools.values()),
+            container_crashes=sum(p.container_crashes for p in pools.values()),
+            task_timeouts=sum(p.task_timeouts for p in pools.values()),
+            dead_lettered=sum(p.tasks_dead_lettered for p in pools.values()),
+            tick_errors=tick_errors,
+            degraded_spawns=degraded_spawns,
+            shed_jobs=shed_jobs,
         )

@@ -79,6 +79,7 @@ class ServerlessSystem:
         shared_cluster: Optional[Cluster] = None,
         sample_energy: bool = True,
         input_scale_sampler: Optional[Callable[[np.random.Generator], float]] = None,
+        fault_model=None,
     ) -> None:
         self.config = config
         self.mix = mix
@@ -91,6 +92,11 @@ class ServerlessSystem:
         #: linearly with input size).  None pins every job to scale 1.0,
         #: the fixed-input setting of the paper's experiments.
         self.input_scale_sampler = input_scale_sampler
+        #: Optional ContainerFaultModel applied to every pool (chaos
+        #: mode); the live runtime injects the same model via its
+        #: FaultConfig, which is what makes sim-vs-live chaos parity
+        #: meaningful.
+        self.fault_model = fault_model
         self.cold_start_model = cold_start_model or ColdStartModel()
         self.power_model = power_model or NodePowerModel()
         self.predictor = self._resolve_predictor(predictor)
@@ -182,6 +188,7 @@ class ServerlessSystem:
                 reap_exempt=self.config.static_pool,
                 delay_window_ms=self.config.monitor_interval_ms,
                 single_use=self.config.single_use,
+                fault_model=self.fault_model,
             )
             self.store.insert(
                 "stages",
@@ -379,6 +386,7 @@ def run_policy(
     drain_ms: float = 120_000.0,
     cold_start_model: Optional[ColdStartModel] = None,
     power_model: Optional[NodePowerModel] = None,
+    fault_model=None,
     **config_overrides,
 ) -> RunResult:
     """Convenience one-call runner used by examples and benches.
@@ -398,5 +406,6 @@ def run_policy(
         power_model=power_model,
         seed=seed,
         drain_ms=drain_ms,
+        fault_model=fault_model,
     )
     return system.run(trace)

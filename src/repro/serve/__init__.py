@@ -26,15 +26,26 @@ workload in 6 wall seconds) so sim-vs-live parity checks stay cheap.
 """
 
 from repro.serve.clock import ScaledClock
-from repro.serve.config import ServeOptions
+from repro.serve.config import FaultConfig, ServeOptions
+from repro.serve.faults import ChaosInjector
 from repro.serve.gateway import Gateway
 from repro.serve.pool import WorkerPool, WorkerSlot
 from repro.serve.replayer import PlannedArrival, TraceReplayer
+from repro.serve.retry import (
+    DeadLetterQueue,
+    RetryManager,
+    RetryPolicy,
+)
 from repro.serve.runtime import ServingRuntime, serve_trace
 
 __all__ = [
+    "ChaosInjector",
+    "DeadLetterQueue",
+    "FaultConfig",
     "Gateway",
     "PlannedArrival",
+    "RetryManager",
+    "RetryPolicy",
     "ScaledClock",
     "ServeOptions",
     "ServingRuntime",

@@ -3,12 +3,78 @@
 Everything *policy*-related lives in :class:`repro.core.policies
 .RMConfig`, shared verbatim with the simulator; :class:`ServeOptions`
 only holds what exists on a wall clock and not on a virtual one —
-time compression, admission control and drain behaviour.
+time compression, admission control, drain behaviour, the retry policy
+and the chaos-injection plan (:class:`FaultConfig`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.serve.retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Unified chaos-injection plan for a live run.
+
+    The same fault models the simulator uses
+    (:class:`repro.cluster.faults.ContainerFaultModel`,
+    :class:`~repro.cluster.faults.RegistryDegradation`,
+    :func:`~repro.cluster.faults.fail_node`) are wired into the live
+    runtime from this config, so sim and live runs inject *identical*
+    failures and the parity test can run in chaos mode.
+
+    Attributes:
+        crash_prob: per-task probability that the executing worker
+            crashes partway through (work lost, task retried).
+        crash_point: fraction of the execution time at which the crash
+            manifests.
+        hang_prob: per-task probability that the work hangs forever;
+            only the per-task execution timeout can recover it
+            (live-only — the simulator has no notion of a hang).
+        brownout_start_ms / brownout_end_ms: model-time window during
+            which cold starts inflate (registry brownout); end <= start
+            disables it.
+        brownout_factor: cold-start multiplier inside the window.
+        kill_workers_at_ms: model time at which the busiest node's
+            entire worker group is killed (``fail_node`` against the
+            live pools); ``None`` disables the kill.
+    """
+
+    crash_prob: float = 0.0
+    crash_point: float = 0.5
+    hang_prob: float = 0.0
+    brownout_start_ms: float = 0.0
+    brownout_end_ms: float = 0.0
+    brownout_factor: float = 3.0
+    kill_workers_at_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crash_prob <= 1.0:
+            raise ValueError("crash_prob must be within [0, 1]")
+        if not 0.0 < self.crash_point <= 1.0:
+            raise ValueError("crash_point must be in (0, 1]")
+        if not 0.0 <= self.hang_prob <= 1.0:
+            raise ValueError("hang_prob must be within [0, 1]")
+        if self.brownout_factor < 1.0:
+            raise ValueError("brownout_factor must be >= 1")
+        if self.kill_workers_at_ms is not None and self.kill_workers_at_ms < 0:
+            raise ValueError("kill_workers_at_ms must be >= 0")
+
+    @property
+    def brownout_enabled(self) -> bool:
+        return self.brownout_end_ms > self.brownout_start_ms
+
+    @property
+    def any_faults(self) -> bool:
+        return (
+            self.crash_prob > 0.0
+            or self.hang_prob > 0.0
+            or self.brownout_enabled
+            or self.kill_workers_at_ms is not None
+        )
 
 
 @dataclass(frozen=True)
@@ -27,12 +93,34 @@ class ServeOptions:
         executor_workers: thread-pool size for executing task work; 0
             sizes it to the cluster's container capacity (the hardware
             concurrency bound the simulator models via placement).
+        retry: what happens to a task after a failed attempt (crash,
+            timeout, killed worker) — see :class:`~repro.serve.retry
+            .RetryPolicy`.
+        faults: the chaos-injection plan (defaults to no faults).
+        shed_expired: deadline-aware shedding — beyond ``max_pending``
+            backpressure, the gateway also sheds arrivals whose
+            residual slack is already negative given the first stage's
+            monitored queueing delay (the job cannot meet its SLO, so
+            admitting it only burns capacity).
+        task_timeout: enforce a per-task execution timeout derived from
+            the stage slack and the task's residual slack; a worker
+            whose work function exceeds it is declared hung, crashed
+            and its task retried.
+        timeout_floor_wall_s: wall-clock grace added to every task
+            timeout, absorbing executor queueing and event-loop jitter
+            that compressed clocks would otherwise amplify into false
+            hang verdicts.
     """
 
     time_scale: float = 1.0
     max_pending: int = 0
     drain_timeout_ms: float = 120_000.0
     executor_workers: int = 0
+    retry: RetryPolicy = RetryPolicy()
+    faults: FaultConfig = FaultConfig()
+    shed_expired: bool = False
+    task_timeout: bool = True
+    timeout_floor_wall_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.time_scale <= 0:
@@ -43,3 +131,5 @@ class ServeOptions:
             raise ValueError("drain_timeout_ms must be >= 0")
         if self.executor_workers < 0:
             raise ValueError("executor_workers must be >= 0")
+        if self.timeout_floor_wall_s < 0:
+            raise ValueError("timeout_floor_wall_s must be >= 0")

@@ -2,17 +2,25 @@
 
 Every monitoring interval (the paper's 10 s cadence, wall-scaled) one
 tick runs, in the same order as
-:meth:`repro.runtime.system.ServerlessSystem._tick_monitor`: reactive
-scaling, the HPA baseline, proactive (predictor-driven) scaling, idle
-reaping, then a metrics/energy sample.  The scalers are the simulator's
-own :mod:`repro.core.scaling` classes operating on live
+:meth:`repro.runtime.system.ServerlessSystem._tick_monitor`: worker
+supervision (reap dead runners, respawn capacity lost to failures),
+reactive scaling, the HPA baseline, proactive (predictor-driven)
+scaling, idle reaping, then a metrics/energy sample.  The scalers are
+the simulator's own :mod:`repro.core.scaling` classes operating on live
 :class:`~repro.serve.pool.WorkerPool` objects — the control logic is
 shared, only the clock underneath differs.
+
+The loop is the runtime's one periodic heartbeat, so it is hardened:
+each tick step runs under its own try/except.  A scaler or sampler
+raising must degrade that one step for that one tick — never kill the
+loop, which would silently freeze scaling and supervision for the rest
+of the run.  Failures are logged and counted (``tick_errors``).
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 from typing import Dict, Optional
 
 from repro.cluster.cluster import Cluster
@@ -22,9 +30,11 @@ from repro.metrics.collector import MetricsCollector
 from repro.serve.clock import ScaledClock
 from repro.serve.pool import WorkerPool
 
+logger = logging.getLogger(__name__)
+
 
 class ControlLoop:
-    """Periodic scaling + sampling task on the scaled wall clock."""
+    """Periodic supervision + scaling + sampling on the scaled clock."""
 
     def __init__(
         self,
@@ -46,20 +56,49 @@ class ControlLoop:
         self.hpa = hpa
         self.proactive = proactive
         self.ticks = 0
+        #: Tick steps that raised (and were contained) — nonzero means
+        #: a control-plane component is broken; surfaced in summaries.
+        self.tick_errors = 0
+        #: Replacement workers spawned by the supervisor for capacity
+        #: lost to crashes/timeouts/node kills.
+        self.supervised_respawns = 0
         self._task: Optional[asyncio.Task] = None
 
-    def tick(self, now_ms: float) -> None:
-        """One monitoring interval (same order as the simulator)."""
-        if self.reactive is not None:
-            self.reactive.tick(now_ms)
-        if self.hpa is not None:
-            self.hpa.tick(now_ms)
-        if self.proactive is not None:
-            self.proactive.tick(now_ms)
+    def _guarded(self, step: str, fn, *args) -> None:
+        """Run one tick step; contain, log and count any exception."""
+        try:
+            fn(*args)
+        except Exception:
+            self.tick_errors += 1
+            logger.warning(
+                "control-loop tick step %r failed (contained)",
+                step,
+                exc_info=True,
+            )
+
+    def _supervise(self, now_ms: float) -> None:
+        for pool in self.pools.values():
+            supervise = getattr(pool, "supervise", None)
+            if supervise is not None:
+                self.supervised_respawns += supervise(now_ms)
+
+    def _reap(self, now_ms: float) -> None:
         if not self.config.static_pool:
             for pool in self.pools.values():
                 pool.reap_idle(self.config.idle_timeout_ms)
-        self.metrics.sample(self.pools, self.cluster.nodes, now_ms)
+
+    def tick(self, now_ms: float) -> None:
+        """One monitoring interval (same order as the simulator, with
+        supervision first so scalers see post-failure capacity)."""
+        self._guarded("supervise", self._supervise, now_ms)
+        if self.reactive is not None:
+            self._guarded("reactive", self.reactive.tick, now_ms)
+        if self.hpa is not None:
+            self._guarded("hpa", self.hpa.tick, now_ms)
+        if self.proactive is not None:
+            self._guarded("proactive", self.proactive.tick, now_ms)
+        self._guarded("reap", self._reap, now_ms)
+        self._guarded("sample", self.metrics.sample, self.pools, self.cluster.nodes, now_ms)
         self.ticks += 1
 
     async def _run(self) -> None:

@@ -1,0 +1,122 @@
+"""Chaos injection for the live serving runtime.
+
+The simulator already owns fault models (:mod:`repro.cluster.faults`);
+this module wires the *same* models into the wall-clock path so a live
+run and a simulation inject identical failures:
+
+* the per-task crash draw is the simulator's own
+  :class:`~repro.cluster.faults.ContainerFaultModel`, consumed from the
+  same rng stream and in the same order as the simulated container
+  does, which keeps chaos-mode parity runs comparable;
+* registry brownouts reuse :class:`~repro.cluster.faults
+  .RegistryDegradation` with the scaled clock as its time source;
+* the scheduled worker-group kill is :func:`~repro.cluster.faults
+  .fail_node` executed against the live pools at a model timestamp.
+
+Hangs (``hang_prob``) are live-only: the simulator has no notion of a
+worker that neither completes nor crashes, which is exactly why the
+live path needs the per-task execution timeout to recover them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.coldstart import ColdStartModel
+from repro.cluster.faults import (
+    ContainerFaultModel,
+    RegistryDegradation,
+    fail_node,
+)
+from repro.serve.clock import ScaledClock
+from repro.serve.config import FaultConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.workflow.pool import FunctionPool
+
+#: Fates a chaos draw can assign to one task execution.
+FATE_CRASH = "crash"
+FATE_HANG = "hang"
+
+
+class ChaosInjector:
+    """Per-run fault state shared by every worker slot of a runtime."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        #: The simulator's crash model, shared verbatim (None when
+        #: crashes are disabled so no rng draw is consumed — keeping
+        #: the exec-time stream bit-identical to a fault-free run).
+        self.container_faults: Optional[ContainerFaultModel] = (
+            ContainerFaultModel(
+                crash_probability=config.crash_prob,
+                crash_point=config.crash_point,
+            )
+            if config.crash_prob > 0.0
+            else None
+        )
+        self.registry: Optional[RegistryDegradation] = None
+        self.workers_killed = 0
+        self.nodes_failed = 0
+
+    @property
+    def crash_point(self) -> float:
+        return self.config.crash_point
+
+    def draw_fate(self, rng: np.random.Generator) -> Optional[str]:
+        """Decide one execution's fate; matches the simulated container's
+        draw order (exec time first, then the crash Bernoulli)."""
+        if self.container_faults is not None and self.container_faults.should_crash(rng):
+            return FATE_CRASH
+        if self.config.hang_prob > 0.0 and rng.random() < self.config.hang_prob:
+            return FATE_HANG
+        return None
+
+    def wrap_cold_start(
+        self, base: ColdStartModel, clock: ScaledClock
+    ) -> ColdStartModel:
+        """Wrap *base* in a registry brownout when one is configured."""
+        if not self.config.brownout_enabled:
+            return base
+        self.registry = RegistryDegradation(
+            base=base,
+            start_ms=self.config.brownout_start_ms,
+            end_ms=self.config.brownout_end_ms,
+            factor=self.config.brownout_factor,
+            now_fn=lambda: clock.now,
+        )
+        return self.registry
+
+    @property
+    def degraded_spawns(self) -> int:
+        return self.registry.degraded_spawns if self.registry is not None else 0
+
+    def kill_worker_group(
+        self,
+        cluster: "Cluster",
+        pools: List["FunctionPool"],
+        now_ms: float,
+    ) -> int:
+        """Kill the busiest node's entire worker group (``fail_node``).
+
+        Returns the number of workers destroyed.  Their in-flight and
+        locally queued tasks re-enter the global queues (counted as
+        retries); capacity is respawned by the supervisor/scalers.
+        """
+        occupancy: Dict[int, int] = {node.node_id: 0 for node in cluster.nodes}
+        for pool in pools:
+            for container in pool.live_containers:
+                occupancy[container.node.node_id] += 1
+        if not occupancy:
+            return 0
+        target_id = max(occupancy, key=lambda nid: occupancy[nid])
+        if occupancy[target_id] == 0:
+            return 0
+        target = next(n for n in cluster.nodes if n.node_id == target_id)
+        destroyed = fail_node(target, pools, now_ms)
+        self.workers_killed += destroyed
+        self.nodes_failed += 1
+        return destroyed

@@ -40,6 +40,7 @@ class Gateway:
         rng: np.random.Generator,
         max_pending: int = 0,
         input_scale_sampler: Optional[Callable[[np.random.Generator], float]] = None,
+        shed_expired: bool = False,
     ) -> None:
         if max_pending < 0:
             raise ValueError("max_pending must be >= 0")
@@ -51,9 +52,18 @@ class Gateway:
         self.rng = rng
         self.max_pending = max_pending
         self.input_scale_sampler = input_scale_sampler
+        self.shed_expired = shed_expired
         self.in_flight = 0
         self.admitted = 0
         self.shed = 0
+        #: Arrivals shed because their slack was already gone (deadline
+        #: shedding) — kept separate from backpressure sheds.
+        self.shed_deadline = 0
+        #: Jobs terminally failed (retries exhausted, dead-lettered).
+        self.dead_lettered = 0
+        #: Completion/failure signals for jobs already terminal — a
+        #: symptom of a double-delivery bug; counted, never applied.
+        self.duplicate_completions = 0
         self._idle = asyncio.Event()
         self._idle.set()
 
@@ -78,6 +88,10 @@ class Gateway:
             return None
         if app is None:
             app = self.mix.sample_application(self.rng)
+        if self.shed_expired and self._deadline_expired(app):
+            self.shed += 1
+            self.shed_deadline += 1
+            return None
         if input_scale is None:
             input_scale = (
                 self.input_scale_sampler(self.rng)
@@ -92,6 +106,19 @@ class Gateway:
         self._later(app.transition_overhead_ms, job, 0)
         return job
 
+    def _deadline_expired(self, app: Application) -> bool:
+        """Deadline-aware shedding: is this arrival already doomed?
+
+        If the first stage's monitored queueing delay alone exceeds the
+        chain's total slack, the job's residual slack would be negative
+        before it even reached a worker — admitting it cannot meet the
+        SLO and only burns capacity other jobs could use.
+        """
+        first_pool = self.pools.get(app.stage_names[0])
+        if first_pool is None:
+            return False
+        return first_pool.monitored_delay_ms() > app.slack_ms
+
     def _later(self, overhead_ms: float, job: Job, stage_index: int) -> None:
         asyncio.get_running_loop().call_later(
             self.clock.to_wall_s(overhead_ms),
@@ -105,16 +132,45 @@ class Gateway:
         self.pools[task.function].enqueue(task)
 
     def on_task_finished(self, task: Task) -> None:
-        """Pool callback: advance the chain or complete the job."""
+        """Pool callback: advance the chain or complete the job.
+
+        Guarded against double delivery: a job already terminal (a
+        retried attempt's ghost completion racing the original, or a
+        completion arriving after the job was dead-lettered) is counted
+        and dropped — decrementing ``in_flight`` twice would corrupt
+        admission control and wedge or falsify the drain barrier.
+        """
         job = task.job
+        if job.terminal:
+            self.duplicate_completions += 1
+            return
         if task.is_last_stage:
             job.completion_ms = self.clock.now
             self.metrics.record_job_completed(job)
-            self.in_flight -= 1
-            if self.in_flight == 0:
-                self._idle.set()
+            self._settle()
         else:
             self._later(job.app.transition_overhead_ms, job, task.stage_index + 1)
+
+    def on_task_failed(self, task: Task, reason: str) -> None:
+        """Retry-layer callback: *task*'s job is beyond saving.
+
+        Marks the job terminally failed so ``in_flight`` still reaches
+        zero and the drain barrier converges even when work is lost.
+        """
+        job = task.job
+        if job.terminal:
+            self.duplicate_completions += 1
+            return
+        job.failed_ms = self.clock.now
+        job.failure_reason = reason
+        self.metrics.record_job_failed(job)
+        self.dead_lettered += 1
+        self._settle()
+
+    def _settle(self) -> None:
+        self.in_flight -= 1
+        if self.in_flight == 0:
+            self._idle.set()
 
     # -- drain -------------------------------------------------------------
 

@@ -8,11 +8,21 @@ executor so the event loop stays free.  It exposes the same capacity
 surface (``free_slots``, ``is_ready``, ``is_reapable``, ``assign`` …),
 so everything written against containers keeps working.
 
+Workers are *supervised*: a work-function exception, an enforced
+execution timeout (derived from the stage's slack — the same quantity
+:mod:`repro.core.slack` distributes — plus the task's residual slack)
+or an injected chaos fault transitions the slot to ``CRASHED``, releases
+nothing silently and hands the lost task to the pool, which routes it
+through the retry layer (:mod:`repro.serve.retry`).  A slot killed
+externally (node failure) detects the lost claim on its current task
+and exits without corrupting the record.
+
 :class:`WorkerPool` *is* a :class:`repro.workflow.pool.FunctionPool` —
-the only override is the container factory.  Global queues, LSF/FIFO
-scheduling, greedy dispatch, backlog spawning, idle reaping and all the
-load-monitor signals the scalers consume are the simulator's own code
-running against the scaled wall clock (which duck-types ``sim.now``).
+the overrides are the container factory and the crash path.  Global
+queues, LSF/FIFO scheduling, greedy dispatch, backlog spawning, idle
+reaping and all the load-monitor signals the scalers consume are the
+simulator's own code running against the scaled wall clock (which
+duck-types ``sim.now``).
 """
 
 from __future__ import annotations
@@ -26,8 +36,10 @@ from typing import Callable, Deque, Optional, TYPE_CHECKING
 
 import numpy as np
 
-from repro.cluster.container import ContainerState
+from repro.cluster.container import ContainerState, DEAD_STATES
 from repro.serve.clock import ScaledClock
+from repro.serve.faults import ChaosInjector, FATE_CRASH, FATE_HANG
+from repro.serve.retry import RetryManager
 from repro.workflow.pool import FunctionPool
 from repro.workloads.microservices import Microservice
 
@@ -49,11 +61,20 @@ def default_work(task: "Task", wall_s: float) -> None:
         time.sleep(wall_s)
 
 
+def _swallow_result(future) -> None:
+    """Drain an orphaned executor future so its outcome (result or
+    exception) is consumed and never logged as unretrieved."""
+    if future.cancelled():
+        return
+    future.exception()
+
+
 class WorkerSlot:
     """One live worker ("container"): cold start, local queue, executor.
 
     State transitions mirror the simulated container — SPAWNING until
-    the cold start elapses, then IDLE/BUSY, and TERMINATED on scale-in.
+    the cold start elapses, then IDLE/BUSY, TERMINATED on scale-in and
+    CRASHED when an execution fails (exception, timeout, chaos fault).
     All mutation happens on the event-loop thread; the executor only
     runs the opaque work function.
     """
@@ -70,6 +91,13 @@ class WorkerSlot:
         on_ready: Callable[["WorkerSlot"], None],
         on_task_done: Callable[["WorkerSlot", "Task"], None],
         work: Optional[WorkFn] = None,
+        stage_slack_ms: float = 0.0,
+        chaos: Optional[ChaosInjector] = None,
+        on_failed: Optional[
+            Callable[["WorkerSlot", Optional["Task"], str], None]
+        ] = None,
+        task_timeout: bool = True,
+        timeout_floor_wall_s: float = 1.0,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -84,7 +112,12 @@ class WorkerSlot:
         self.rng = rng
         self._on_ready = on_ready
         self._on_task_done = on_task_done
+        self._on_failed = on_failed
         self._work = work or default_work
+        self.stage_slack_ms = stage_slack_ms
+        self.chaos = chaos
+        self.task_timeout = task_timeout
+        self.timeout_floor_wall_s = timeout_floor_wall_s
         self.state = ContainerState.SPAWNING
         self.spawned_ms = clock.now
         self.cold_start_ms = cold_start_ms
@@ -92,6 +125,7 @@ class WorkerSlot:
         self.local_queue: Deque["Task"] = deque()
         self.current_task: Optional["Task"] = None
         self.tasks_executed = 0
+        self.crashes = 0
         self.last_used_ms = clock.now
         self.busy_time_ms = 0.0
         self._wake = asyncio.Event()
@@ -125,23 +159,45 @@ class WorkerSlot:
 
     def assign(self, task: "Task") -> None:
         """Add *task* to the local queue (caller checked free_slots)."""
-        if self.state == ContainerState.TERMINATED:
-            raise RuntimeError(f"worker {self.container_id} is terminated")
+        if self.state in DEAD_STATES:
+            raise RuntimeError(f"worker {self.container_id} is dead")
         if self.free_slots <= 0:
             raise RuntimeError(f"worker {self.container_id} has no free slot")
         self.local_queue.append(task)
         self._wake.set()
 
+    def _timeout_wall_s(self, task: "Task", exec_ms: float) -> Optional[float]:
+        """Execution budget for one attempt, in wall seconds.
+
+        Model-time budget: twice the expected execution plus whichever
+        is larger of the stage's slack allocation and the task's
+        residual slack (a task that still has headroom is given it).
+        The wall-clock floor absorbs executor queueing and event-loop
+        jitter so compressed clocks never produce false hang verdicts.
+        """
+        if not self.task_timeout:
+            return None
+        residual = max(0.0, task.available_slack_ms(self.clock.now))
+        budget_ms = 2.0 * exec_ms + max(self.stage_slack_ms, residual)
+        return self.clock.to_wall_s(budget_ms) + self.timeout_floor_wall_s
+
+    def _owns(self, task: "Task") -> bool:
+        """True while this slot still owns *task*'s execution.  A node
+        kill (``fail_node``) clears ``current_task`` and terminates the
+        slot after requeueing the task elsewhere — from then on any
+        local completion or failure must be discarded."""
+        return self.current_task is task and self.state not in DEAD_STATES
+
     async def _run(self) -> None:
         await self.clock.sleep_ms(self.cold_start_ms)
-        if self.state == ContainerState.TERMINATED:
+        if self.state in DEAD_STATES:
             return
         self.state = ContainerState.IDLE
         self.last_used_ms = self.clock.now
         self._on_ready(self)
         loop = asyncio.get_running_loop()
         while True:
-            if self.state == ContainerState.TERMINATED:
+            if self.state in DEAD_STATES:
                 return
             if not self.local_queue:
                 self.state = ContainerState.IDLE
@@ -163,22 +219,76 @@ class WorkerSlot:
                 self.rng, input_scale=task.job.input_scale
             )
             record.exec_ms = exec_ms
-            await loop.run_in_executor(
-                self.executor, self._work, task, self.clock.to_wall_s(exec_ms)
+            # Chaos draw order matches Container._start_next (exec time
+            # first, then the crash Bernoulli) for sim-vs-live parity.
+            fate = (
+                self.chaos.draw_fate(self.rng) if self.chaos is not None else None
             )
+            failure: Optional[str] = None
+            if fate == FATE_CRASH:
+                # The worker dies partway through; the work is lost.
+                await self.clock.sleep_ms(exec_ms * self.chaos.crash_point)
+                failure = "crash"
+            else:
+                timeout_s = self._timeout_wall_s(task, exec_ms)
+                if fate == FATE_HANG:
+                    # The work never returns; only the execution
+                    # timeout (when enabled) recovers the slot.
+                    hung: asyncio.Future = loop.create_future()
+                    try:
+                        if timeout_s is None:
+                            await hung
+                        await asyncio.wait({hung}, timeout=timeout_s)
+                    finally:
+                        hung.cancel()
+                    failure = "timeout"
+                else:
+                    future = loop.run_in_executor(
+                        self.executor,
+                        self._work,
+                        task,
+                        self.clock.to_wall_s(exec_ms),
+                    )
+                    done, pending = await asyncio.wait(
+                        {future}, timeout=timeout_s
+                    )
+                    if pending:
+                        # Hung work: the thread cannot be killed — leave
+                        # it orphaned (it keeps its executor slot, like a
+                        # real stuck handler) and discard its outcome.
+                        future.cancel()
+                        future.add_done_callback(_swallow_result)
+                        failure = "timeout"
+                    elif future.exception() is not None:
+                        failure = "error"
+            if self.state == ContainerState.TERMINATED or not self._owns(task):
+                # Killed externally mid-execution (node failure or
+                # forced shutdown): the task was already requeued by
+                # whoever killed us — discard this attempt entirely.
+                return
+            if failure is not None:
+                self._fail(task, failure)
+                return
             record.end_ms = self.clock.now
             self.busy_time_ms += exec_ms
             self.tasks_executed += 1
             self.last_used_ms = self.clock.now
             self.current_task = None
-            if self.state == ContainerState.TERMINATED:
-                return
             # Become IDLE *before* the completion callback when the local
             # queue is empty, exactly like the simulated container: the
             # single-use (brigade) path retires the worker inside it.
             if not self.local_queue:
                 self.state = ContainerState.IDLE
             self._on_task_done(self, task)
+
+    def _fail(self, task: "Task", reason: str) -> None:
+        """This slot's execution of *task* failed: crash the worker and
+        hand the lost task (plus any local queue) to the pool."""
+        self.current_task = None
+        self.crashes += 1
+        self.state = ContainerState.CRASHED
+        if self._on_failed is not None:
+            self._on_failed(self, task, reason)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -193,7 +303,8 @@ class WorkerSlot:
 
     async def shutdown(self) -> None:
         """Force-stop the runner (end-of-run teardown, any state)."""
-        self.state = ContainerState.TERMINATED
+        if self.state != ContainerState.CRASHED:
+            self.state = ContainerState.TERMINATED
         self._wake.set()
         if not self.runner.done():
             self.runner.cancel()
@@ -214,7 +325,11 @@ class WorkerPool(FunctionPool):
 
     Everything else — global queue, dispatch, scaling hooks, monitor
     signals, reaping — is inherited unchanged; ``sim`` is the scaled
-    wall clock (only ``sim.now`` is ever read).
+    wall clock (only ``sim.now`` is ever read).  On top of the sim's
+    surface it adds the resilience hooks: failed executions route
+    through the retry manager, and :meth:`supervise` (driven by the
+    control loop) reaps unexpectedly dead runners and respawns capacity
+    lost to failures.
     """
 
     def __init__(
@@ -222,12 +337,22 @@ class WorkerPool(FunctionPool):
         clock: ScaledClock,
         executor: Executor,
         work: Optional[WorkFn] = None,
+        retry_manager: Optional[RetryManager] = None,
+        chaos: Optional[ChaosInjector] = None,
+        task_timeout: bool = True,
+        timeout_floor_wall_s: float = 1.0,
         **kwargs,
     ) -> None:
         super().__init__(sim=clock, **kwargs)
         self.clock = clock
         self.executor = executor
         self.work = work
+        self.retry_manager = retry_manager
+        self.chaos = chaos
+        self.task_timeout = task_timeout
+        self.timeout_floor_wall_s = timeout_floor_wall_s
+        #: Failures whose capacity the supervisor has not yet replaced.
+        self._unreplaced_failures = 0
 
     def _make_container(self, node, cold_start_ms: float) -> WorkerSlot:
         return WorkerSlot(
@@ -241,7 +366,84 @@ class WorkerPool(FunctionPool):
             on_ready=self._on_container_ready,
             on_task_done=self._on_task_done,
             work=self.work,
+            stage_slack_ms=self.stage_slack_ms,
+            chaos=self.chaos,
+            on_failed=self._on_slot_failed,
+            task_timeout=self.task_timeout,
+            timeout_floor_wall_s=self.timeout_floor_wall_s,
         )
+
+    # -- failure path ------------------------------------------------------
+
+    def _on_slot_failed(
+        self, slot: WorkerSlot, task: Optional["Task"], reason: str
+    ) -> None:
+        """A worker died mid-execution (exception, timeout, chaos):
+        release its node, then route the lost task and its local queue
+        through the retry layer (or straight back into the global queue
+        when no retry manager is wired — the simulator's semantics)."""
+        self.container_crashes += 1
+        if reason == "timeout":
+            self.task_timeouts += 1
+        self.retired_task_counts.append(slot.tasks_executed)
+        self.cluster.release(
+            slot.node,
+            self.sim.now,
+            cpu=self.service.cpu_cores,
+            memory_mb=self.service.memory_mb,
+        )
+        orphans = ([task] if task is not None else []) + list(slot.local_queue)
+        slot.local_queue.clear()
+        self._compact()
+        self._unreplaced_failures += 1
+        for orphan in orphans:
+            if self.retry_manager is not None:
+                self.retry_manager.handle_failure(self, orphan, reason)
+            else:
+                self.requeue(orphan)
+        if self.spawn_on_demand:
+            self._spawn_for_backlog()
+        self.dispatch()
+
+    def supervise(self, now_ms: Optional[float] = None) -> int:
+        """Detect dead runners and respawn capacity lost to failures.
+
+        Called every control-loop tick.  Two duties:
+
+        1. A slot whose runner task finished without the slot reaching a
+           dead state died *unexpectedly* (a bug escaping ``_run`` or an
+           external cancellation) — its failure callback never ran, so
+           its node allocation and any claimed task would leak forever.
+           Crash it properly.
+        2. Replace capacity lost to failures since the last tick, one
+           spawn per failure, but only while the global queue actually
+           backs up beyond current + incoming capacity — so supervision
+           never becomes a shadow autoscaler that distorts the policies
+           under study.
+
+        Returns the number of replacement workers spawned.
+        """
+        for slot in list(self.containers):
+            runner = getattr(slot, "runner", None)
+            if runner is None or not runner.done():
+                continue
+            if slot.state in DEAD_STATES:
+                continue
+            if not runner.cancelled():
+                runner.exception()  # retrieve, so asyncio never warns
+            task = slot.current_task
+            slot.current_task = None
+            slot.crashes += 1
+            slot.state = ContainerState.CRASHED
+            self._on_slot_failed(slot, task, "died")
+        respawned = 0
+        while self._unreplaced_failures > 0:
+            self._unreplaced_failures -= 1
+            deficit = self.queue_length - self.free_slots - self.pending_capacity
+            if deficit <= 0:
+                continue
+            respawned += self.spawn(1)
+        return respawned
 
     async def shutdown(self) -> None:
         """Stop every worker runner (terminated included — idempotent)."""

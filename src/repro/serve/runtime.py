@@ -37,9 +37,11 @@ from repro.runtime.system import ClusterSpec, ServerlessSystem
 from repro.serve.clock import ScaledClock
 from repro.serve.config import ServeOptions
 from repro.serve.control import ControlLoop
+from repro.serve.faults import ChaosInjector
 from repro.serve.gateway import Gateway
 from repro.serve.pool import WorkerPool, WorkFn
 from repro.serve.replayer import TraceReplayer
+from repro.serve.retry import DeadLetterQueue, RetryManager
 from repro.traces.base import ArrivalTrace
 from repro.workloads.mixes import WorkloadMix
 
@@ -95,6 +97,8 @@ class ServingRuntime:
         self.gateway: Optional[Gateway] = None
         self.control: Optional[ControlLoop] = None
         self.replayer: Optional[TraceReplayer] = None
+        self.chaos: Optional[ChaosInjector] = None
+        self.retry_manager: Optional[RetryManager] = None
         self.drain_completed: bool = False
 
     # -- wiring ------------------------------------------------------------
@@ -110,6 +114,7 @@ class ServingRuntime:
         )
         rng_apps = np.random.default_rng(self.seed)
         rng_exec = np.random.default_rng(self.seed + 1)
+        rng_retry = np.random.default_rng(self.seed + 2)
         self.sampler = WindowedMaxSampler(interval_ms=config.monitor_interval_ms)
         self.energy_meter = EnergyMeter(
             model=self.power_model, interval_ms=config.monitor_interval_ms
@@ -125,6 +130,25 @@ class ServingRuntime:
             rng=rng_apps,
             max_pending=self.options.max_pending,
             input_scale_sampler=self.input_scale_sampler,
+            shed_expired=self.options.shed_expired,
+        )
+        # Chaos + resilience wiring: the injector reuses the simulator's
+        # fault models; the retry manager owns attempt budgets, backoff
+        # and the dead-letter queue, and reports give-ups to the gateway
+        # so every admitted job terminates (completed xor failed).
+        self.chaos = (
+            ChaosInjector(self.options.faults)
+            if self.options.faults.any_faults
+            else None
+        )
+        cold_start = self.cold_start_model
+        if self.chaos is not None:
+            cold_start = self.chaos.wrap_cold_start(cold_start, self.clock)
+        self.retry_manager = RetryManager(
+            policy=self.options.retry,
+            clock=self.clock,
+            rng=rng_retry,
+            on_give_up=self.gateway.on_task_failed,
         )
         for name in self.mix.function_names():
             svc = self._planner._service(name)
@@ -132,19 +156,24 @@ class ServingRuntime:
                 clock=self.clock,
                 executor=executor,
                 work=self.work,
+                retry_manager=self.retry_manager,
+                chaos=self.chaos,
+                task_timeout=self.options.task_timeout,
+                timeout_floor_wall_s=self.options.timeout_floor_wall_s,
                 service=svc,
                 cluster=self.cluster,
                 batch_size=self.batch_sizes[name],
                 stage_slack_ms=self.stage_slacks[name],
                 stage_response_ms=self.stage_responses[name],
                 scheduling=config.scheduling,
-                cold_start=self.cold_start_model,
+                cold_start=cold_start,
                 rng=rng_exec,
                 on_task_finished=self.gateway.on_task_finished,
                 spawn_on_demand=config.spawn_on_demand,
                 reap_exempt=config.static_pool,
                 delay_window_ms=config.monitor_interval_ms,
                 single_use=config.single_use,
+                fault_model=self.chaos.container_faults if self.chaos else None,
             )
         for pool in self.pools.values():
             pool.reclaim_callback = self._reclaim_idle_capacity
@@ -220,6 +249,7 @@ class ServingRuntime:
             self.clock.start()
             self._prewarm(trace)
             self.control.start()
+            killer = self._start_worker_killer()
             self.replayer = TraceReplayer(
                 trace,
                 self.mix,
@@ -233,6 +263,8 @@ class ServingRuntime:
                 timeout_ms=self.options.drain_timeout_ms
             )
             await self.control.stop()
+            if killer is not None and not killer.done():
+                killer.cancel()
             # The simulator's drain always reaches a monitor tick
             # (virtual time jumps to it); a short live run can finish
             # before the first one.  One closing tick keeps the
@@ -248,7 +280,27 @@ class ServingRuntime:
             trace=trace.name,
             duration_ms=self.clock.now,
             pools=self.pools,
+            tick_errors=self.control.tick_errors,
+            degraded_spawns=self.chaos.degraded_spawns if self.chaos else 0,
+            shed_jobs=self.gateway.shed,
         )
+
+    def _start_worker_killer(self) -> Optional[asyncio.Task]:
+        """Schedule the configured worker-group kill, if any."""
+        if (
+            self.chaos is None
+            or self.options.faults.kill_workers_at_ms is None
+        ):
+            return None
+        at_ms = self.options.faults.kill_workers_at_ms
+
+        async def _kill() -> None:
+            await self.clock.sleep_until_ms(at_ms)
+            self.chaos.kill_worker_group(
+                self.cluster, list(self.pools.values()), self.clock.now
+            )
+
+        return asyncio.get_running_loop().create_task(_kill(), name="chaos-kill")
 
     def _executor_workers(self) -> int:
         if self.options.executor_workers:
@@ -262,7 +314,15 @@ class ServingRuntime:
 
     @property
     def shed_jobs(self) -> int:
+        """All sheds: backpressure + deadline (``shed_deadline`` ⊂ this)."""
         return self.gateway.shed if self.gateway is not None else 0
+
+    @property
+    def dead_letters(self) -> Optional[DeadLetterQueue]:
+        """The run's dead-letter queue (None before serving starts)."""
+        return (
+            self.retry_manager.dlq if self.retry_manager is not None else None
+        )
 
 
 def serve_trace(

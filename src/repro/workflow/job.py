@@ -58,6 +58,11 @@ class Job:
     stages: List[JobStage] = field(default_factory=list)
     completion_ms: float = -1.0
     input_scale: float = 1.0
+    #: Set when the job is dead-lettered: retries exhausted (or deadline
+    #: budget blown) on one of its stages.  A failed job is terminal —
+    #: it never completes and counts as an SLO violation.
+    failed_ms: float = -1.0
+    failure_reason: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.input_scale <= 0:
@@ -72,6 +77,23 @@ class Job:
     @property
     def completed(self) -> bool:
         return self.completion_ms >= 0
+
+    @property
+    def failed(self) -> bool:
+        return self.failed_ms >= 0
+
+    @property
+    def terminal(self) -> bool:
+        """The job reached exactly one end state (completed or failed)."""
+        return self.completed or self.failed
+
+    @property
+    def outcome(self) -> str:
+        if self.completed:
+            return "completed"
+        if self.failed:
+            return "failed"
+        return "in-flight"
 
     @property
     def response_latency_ms(self) -> float:
@@ -120,6 +142,10 @@ class Task:
     job: Job
     stage_index: int
     enqueue_ms: float
+    #: Failed execution attempts so far (crash / timeout / lost worker).
+    #: The retry layer increments this and compares it against the
+    #: attempt budget before requeueing.
+    attempts: int = 0
 
     @property
     def function(self) -> str:

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.coldstart import ColdStartModel
-from repro.cluster.container import Container, ContainerState
+from repro.cluster.container import Container, ContainerState, DEAD_STATES
 from repro.core.scheduling import SchedulingPolicy, TaskQueue, make_queue
 from repro.sim.engine import Simulator
 from repro.workflow.job import Task
@@ -45,6 +45,7 @@ class FunctionPool:
         reap_exempt: bool = False,
         delay_window_ms: float = 10_000.0,
         single_use: bool = False,
+        fault_model=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -73,9 +74,17 @@ class FunctionPool:
         #: Tasks still waiting in the global queue, in enqueue order
         #: (lazily pruned) — powers the queue-age part of the monitor.
         self._waiting: Deque[Task] = deque()
-        #: Optional ContainerFaultModel injected by resilience tests.
-        self.fault_model = None
+        #: Optional ContainerFaultModel (chaos injection / resilience
+        #: tests); the simulator and the live runtime share this model.
+        self.fault_model = fault_model
         self.container_crashes = 0
+        #: Tasks put back into the global queue after a failed attempt
+        #: (container crash, execution timeout, node kill).
+        self.task_retries = 0
+        #: Executions killed by the per-task timeout (hung workers).
+        self.task_timeouts = 0
+        #: Tasks routed to the dead-letter queue (retries exhausted).
+        self.tasks_dead_lettered = 0
         # Metrics.
         self.prewarmed = 0
         self.total_spawns = 0
@@ -97,7 +106,7 @@ class FunctionPool:
 
     @property
     def live_containers(self) -> List[Container]:
-        return [c for c in self.containers if c.state != ContainerState.TERMINATED]
+        return [c for c in self.containers if c.state not in DEAD_STATES]
 
     @property
     def n_containers(self) -> int:
@@ -299,8 +308,36 @@ class FunctionPool:
 
     def _compact(self) -> None:
         self.containers = [
-            c for c in self.containers if c.state != ContainerState.TERMINATED
+            c for c in self.containers if c.state not in DEAD_STATES
         ]
+
+    def forget_waiting(self, task: Task) -> None:
+        """Drop *task* from the waiting view (identity match).
+
+        Requeue paths call this before re-appending the task so a retry
+        never leaves a duplicate entry behind: the lazy head-prune in
+        :meth:`oldest_waiting_age_ms` cannot remove a stale copy once
+        the retry resets ``record.start_ms`` to -1.
+        """
+        if any(t is task for t in self._waiting):
+            self._waiting = deque(t for t in self._waiting if t is not task)
+
+    def requeue(self, task: Task, count_retry: bool = True) -> None:
+        """Put a previously dispatched task back into the global queue.
+
+        Resets the stage record (the lost attempt's timings are
+        discarded; the queue wait restarts at the original enqueue time)
+        and re-inserts the task without double-counting it as a fresh
+        arrival in the monitor's rate signal.
+        """
+        record = task.record
+        record.start_ms = -1.0
+        record.cold_start_wait_ms = 0.0
+        self.forget_waiting(task)
+        self.queue.push(task)
+        self._waiting.append(task)
+        if count_retry:
+            self.task_retries += 1
 
     # -- monitor data ------------------------------------------------------------
 
@@ -365,7 +402,7 @@ class FunctionPool:
         """Requests-per-container (RPC, Figure 12a) over the whole run."""
         counts = list(self.retired_task_counts) + [
             c.tasks_executed for c in self.containers
-            if c.state != ContainerState.TERMINATED
+            if c.state not in DEAD_STATES
         ]
         if not counts:
             return 0.0
@@ -390,11 +427,7 @@ class FunctionPool:
         orphans = [task] + list(container.local_queue)
         container.local_queue.clear()
         for orphan in orphans:
-            record = orphan.record
-            record.start_ms = -1.0
-            record.cold_start_wait_ms = 0.0
-            self.queue.push(orphan)
-            self._waiting.append(orphan)
+            self.requeue(orphan)
         self._compact()
         if self.spawn_on_demand:
             self._spawn_for_backlog()

@@ -15,8 +15,14 @@ live run compresses time 20x) and real scheduling jitter.  Tolerances
 
 import pytest
 
+from repro.cluster.faults import ContainerFaultModel
 from repro.runtime.system import run_policy
-from repro.serve import ServeOptions, serve_trace
+from repro.serve import (
+    FaultConfig,
+    RetryPolicy,
+    ServeOptions,
+    serve_trace,
+)
 from repro.traces import poisson_trace
 from repro.workloads import get_mix
 
@@ -75,3 +81,64 @@ class TestSimLiveParity:
         # it should never be *faster* than the model by more than noise.
         assert live.median_latency_ms >= sim.median_latency_ms - 50.0
         assert live.median_latency_ms <= sim.median_latency_ms + MEDIAN_SLACK_MS
+
+
+# ---------------------------------------------------------------------------
+# chaos mode: identical fault models through both worlds
+
+
+CRASH_PROB = 0.1
+CHAOS_SLO_TOLERANCE = 0.15  # crash timing adds variance on top of jitter
+
+
+@pytest.fixture(scope="module")
+def chaos_pair():
+    """Sim and live runs injecting the *same* ContainerFaultModel.
+
+    The simulator retries crashed tasks without bound, so the live side
+    gets a generous attempt budget and no deadline cut-off — the paired
+    runs then differ only in clock and crash-timing jitter.
+    """
+    mix = get_mix(MIX)
+    trace = poisson_trace(RATE_RPS, DURATION_S, seed=SEED)
+    sim = run_policy(
+        POLICY, mix, trace, seed=SEED, idle_timeout_ms=60_000.0,
+        fault_model=ContainerFaultModel(crash_probability=CRASH_PROB),
+    )
+    live = serve_trace(
+        POLICY, mix, trace, seed=SEED,
+        options=ServeOptions(
+            time_scale=TIME_SCALE,
+            faults=FaultConfig(crash_prob=CRASH_PROB),
+            retry=RetryPolicy(max_attempts=10, base_backoff_ms=10.0),
+            drain_timeout_ms=1_200_000.0,
+        ),
+        idle_timeout_ms=60_000.0,
+    )
+    return sim, live
+
+
+class TestChaosParity:
+    def test_same_offered_workload(self, chaos_pair):
+        sim, live = chaos_pair
+        assert live.n_jobs == sim.n_jobs
+
+    def test_both_sides_injected_crashes(self, chaos_pair):
+        sim, live = chaos_pair
+        assert sim.container_crashes > 0
+        assert live.container_crashes > 0
+        assert sim.task_retries > 0
+        assert live.task_retries > 0
+
+    def test_work_survives_chaos_on_both_sides(self, chaos_pair):
+        sim, live = chaos_pair
+        assert sim.n_incomplete == 0
+        # The live side may dead-letter a handful of jobs that the sim
+        # (with unbounded retries) eventually completes.
+        assert live.n_completed + live.n_failed == live.n_jobs
+        assert live.n_completed >= 0.9 * live.n_jobs
+
+    def test_slo_violation_rate_within_chaos_tolerance(self, chaos_pair):
+        sim, live = chaos_pair
+        assert abs(live.slo_violation_rate - sim.slo_violation_rate) \
+            <= CHAOS_SLO_TOLERANCE
