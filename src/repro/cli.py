@@ -63,7 +63,7 @@ _RESULT_HEADERS = ["policy", "SLO viol", "median(ms)", "P99(ms)",
 
 
 def _run_one(policy: str, mix_name: str, trace_kind: str, rate: float,
-             duration: float, seed: int, nodes: int):
+             duration: float, seed: int, nodes: int, tracer=None):
     config = make_policy_config(policy, idle_timeout_ms=60_000.0)
     predictor = None
     if config.proactive_predictor == "lstm":
@@ -75,19 +75,57 @@ def _run_one(policy: str, mix_name: str, trace_kind: str, rate: float,
         cluster_spec=ClusterSpec(n_nodes=nodes),
         predictor=predictor,
         seed=seed,
+        tracer=tracer,
     )
     trace = _make_trace(trace_kind, rate, duration, seed)
-    return system.run(trace)
+    return system.run(trace), system
+
+
+def _make_tracer(args):
+    """Tracer for the run, or None when no span output was requested."""
+    from repro.obs.trace import Tracer
+
+    if not args.trace_out:
+        return None
+    return Tracer(sample_rate=args.trace_sample)
+
+
+def _emit_obs(args, tracer, registry, result) -> None:
+    """Shared run/serve epilogue: breakdown table + span/metric dumps."""
+    from repro.experiments.report import BREAKDOWN_HEADERS, latency_breakdown_rows
+
+    print()
+    print(format_table(
+        BREAKDOWN_HEADERS,
+        latency_breakdown_rows({args.policy: result}),
+        title="mean latency breakdown:",
+    ))
+    if tracer is not None and args.trace_out:
+        from repro.obs.export import write_spans_jsonl
+
+        write_spans_jsonl(tracer.spans, args.trace_out)
+        dropped = f" ({tracer.dropped} dropped by sampling)" \
+            if tracer.dropped else ""
+        print(f"spans: {len(tracer.spans)} written to {args.trace_out}"
+              f"{dropped}")
+    if args.metrics_out:
+        from repro.obs.export import write_metrics_text
+
+        write_metrics_text(registry, args.metrics_out)
+        print(f"metrics: {args.metrics_out}")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result = _run_one(args.policy, args.mix, args.trace, args.rate,
-                      args.duration, args.seed, args.nodes)
+    tracer = _make_tracer(args)
+    result, system = _run_one(args.policy, args.mix, args.trace, args.rate,
+                              args.duration, args.seed, args.nodes,
+                              tracer=tracer)
     print(format_table(
         _RESULT_HEADERS, [_result_row(args.policy, result)],
         title=f"{args.policy} on {args.mix} mix / {args.trace} trace "
               f"({result.n_jobs} jobs)",
     ))
+    _emit_obs(args, tracer, system.registry, result)
     return 0
 
 
@@ -140,6 +178,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         faults=faults,
         shed_expired=args.shed_expired,
     )
+    tracer = _make_tracer(args)
     runtime = ServingRuntime(
         config=config,
         mix=get_mix(args.mix),
@@ -147,6 +186,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         predictor=predictor,
         seed=args.seed,
         options=options,
+        tracer=tracer,
     )
     print(f"serving {trace.name} live for {args.duration:g}s "
           f"(time scale {args.time_scale:g}x) ...")
@@ -173,6 +213,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             resilience_rows({args.policy: result}),
             title="resilience counters:",
         ))
+    _emit_obs(args, tracer, runtime.registry, result)
     if args.json_out:
         from repro.experiments.export import export_json_summary
 
@@ -200,8 +241,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     results = {}
     for policy in args.policies:
-        results[policy] = _run_one(policy, args.mix, args.trace, args.rate,
-                                   args.duration, args.seed, args.nodes)
+        results[policy], _ = _run_one(policy, args.mix, args.trace, args.rate,
+                                      args.duration, args.seed, args.nodes)
     rows = [_result_row(p, r) for p, r in results.items()]
     print(format_table(
         _RESULT_HEADERS, rows,
@@ -241,8 +282,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
     results = {}
     for policy in args.policies:
-        results[policy] = _run_one(policy, args.mix, args.trace, args.rate,
-                                   args.duration, args.seed, args.nodes)
+        results[policy], _ = _run_one(policy, args.mix, args.trace, args.rate,
+                                      args.duration, args.seed, args.nodes)
 
     print(bar_chart(
         {p: r.avg_containers for p, r in results.items()},
@@ -337,9 +378,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--nodes", type=int, default=5,
                        help="worker nodes (16 cores each)")
 
-    run_p = sub.add_parser("run", help="simulate one policy")
+    def add_obs(p):
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write request spans as JSONL here")
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a Prometheus text-format metrics "
+                            "snapshot here")
+        p.add_argument("--trace-sample", type=float, default=1.0,
+                       metavar="RATE",
+                       help="fraction of traces to keep (head sampling "
+                            "by trace id; a trace is kept whole or "
+                            "dropped whole)")
+
+    run_p = sub.add_parser("run", aliases=["simulate"],
+                           help="simulate one policy")
     run_p.add_argument("policy", choices=EXTENDED_POLICY_NAMES)
     add_common(run_p)
+    add_obs(run_p)
     run_p.set_defaults(func=cmd_run)
 
     serve_p = sub.add_parser(
@@ -385,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--shed-expired", action="store_true",
                          help="shed arrivals whose slack is already gone "
                               "given the first stage's queueing delay")
+    add_obs(serve_p)
     serve_p.set_defaults(func=cmd_serve)
 
     cmp_p = sub.add_parser("compare", help="compare policies side by side")

@@ -10,6 +10,32 @@ RESILIENCE_HEADERS: Tuple[str, ...] = (
     "dead_lettered", "shed", "degraded_spawns", "tick_errors",
 )
 
+#: Columns of :func:`latency_breakdown_rows`, in order.  The component
+#: columns sum to e2e exactly (transition absorbs the residual), the
+#: per-stage decomposition of Figure 9.
+BREAKDOWN_HEADERS: Tuple[str, ...] = (
+    "policy", "queuing(ms)", "cold_start(ms)", "exec(ms)",
+    "transition(ms)", "e2e(ms)",
+)
+
+
+def latency_breakdown_rows(results: Dict[str, "object"]) -> List[List[object]]:
+    """Per-policy mean latency decomposition as table rows.
+
+    Pairs with :data:`BREAKDOWN_HEADERS` for :func:`format_table`.
+    Delegates the arithmetic to :func:`repro.obs.export.latency_breakdown`
+    so the table and the exporter can never disagree.
+    """
+    from repro.obs.export import BREAKDOWN_COMPONENTS, latency_breakdown
+
+    rows: List[List[object]] = []
+    for policy, r in results.items():
+        parts = latency_breakdown(r)
+        rows.append([policy]
+                    + [parts[c] for c in BREAKDOWN_COMPONENTS]
+                    + [parts["e2e"]])
+    return rows
+
 
 def resilience_rows(results: Dict[str, "object"]) -> List[List[object]]:
     """Per-policy resilience counters as table rows.

@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.cluster.energy import EnergyMeter
 from repro.metrics.stats import summarize_latencies
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer, record_job_spans
 from repro.workflow.job import Job
 from repro.workflow.pool import FunctionPool
 
@@ -169,21 +171,52 @@ class RunResult:
 
 
 class MetricsCollector:
-    """Accumulates jobs and periodic cluster samples during a run."""
+    """Accumulates jobs and periodic cluster samples during a run.
 
-    def __init__(self, energy_meter: EnergyMeter) -> None:
+    The collector is also the observability choke point shared by the
+    simulator and the live runtime: every terminal job passes through
+    :meth:`record_job_completed` / :meth:`record_job_failed`, so this is
+    where request spans are assembled (one schema for both worlds) and
+    where the run's latency histograms are fed.
+    """
+
+    def __init__(
+        self,
+        energy_meter: EnergyMeter,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.energy_meter = energy_meter
+        self.tracer = tracer
+        self.registry = registry or MetricsRegistry()
         self.completed_jobs: List[Job] = []
         self.failed_jobs: List[Job] = []
-        self.jobs_created = 0
         self.sample_times: List[float] = []
         self.pool_samples: Dict[str, List[int]] = {}
+        self._c_created = self.registry.counter("jobs_created_total")
+        self._c_completed = self.registry.counter("jobs_completed_total")
+        self._c_failed = self.registry.counter("jobs_failed_total")
+        self._h_latency = self.registry.histogram("request_latency_ms")
+        self._h_queue = self.registry.histogram("request_queue_wait_ms")
+        self._h_exec = self.registry.histogram("request_exec_ms")
+        self._h_cold = self.registry.histogram("request_cold_start_wait_ms")
+
+    @property
+    def jobs_created(self) -> int:
+        return int(self._c_created.value)
 
     def record_job_created(self) -> None:
-        self.jobs_created += 1
+        self._c_created.inc()
 
     def record_job_completed(self, job: Job) -> None:
         self.completed_jobs.append(job)
+        self._c_completed.inc()
+        self._h_latency.observe(job.response_latency_ms)
+        self._h_queue.observe(job.total_queue_delay_ms)
+        self._h_exec.observe(job.total_exec_ms)
+        self._h_cold.observe(job.total_cold_start_wait_ms)
+        if self.tracer is not None:
+            record_job_spans(self.tracer, job)
 
     def record_job_failed(self, job: Job) -> None:
         """A job terminated with an explicit failed outcome (its task
@@ -191,6 +224,9 @@ class MetricsCollector:
         they are a labelled subset of the incomplete count, so the
         SLO-violation rate already penalises them."""
         self.failed_jobs.append(job)
+        self._c_failed.inc()
+        if self.tracer is not None:
+            record_job_spans(self.tracer, job)
 
     def sample(
         self,
@@ -207,6 +243,9 @@ class MetricsCollector:
         self.sample_times.append(now_ms)
         for name, pool in pools.items():
             self.pool_samples.setdefault(name, []).append(pool.n_containers)
+            gauge = getattr(pool, "_g_containers", None)
+            if gauge is not None:
+                gauge.set(pool.n_containers)
         if sample_energy:
             self.energy_meter.sample(nodes, now_ms)
 

@@ -31,6 +31,8 @@ from repro.core.slack import (
     function_slack_ms,
 )
 from repro.metrics.collector import MetricsCollector, RunResult
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.prediction.base import Predictor
 from repro.prediction.classical import EWMAPredictor, MovingWindowAveragePredictor
 from repro.prediction.windowed import WindowedMaxSampler
@@ -80,12 +82,20 @@ class ServerlessSystem:
         sample_energy: bool = True,
         input_scale_sampler: Optional[Callable[[np.random.Generator], float]] = None,
         fault_model=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config
         self.mix = mix
         self.cluster_spec = cluster_spec
         self.seed = seed
         self.drain_ms = drain_ms
+        #: Optional request-span tracer.  The simulator and the live
+        #: runtime both record spans through the metrics collector, so
+        #: either path emits the identical span schema.
+        self.tracer = tracer
+        #: Per-run metrics registry backing every pool/collector counter
+        #: (re-created by each ``_build``).
+        self.registry = MetricsRegistry()
         self.shared_cluster = shared_cluster
         self.sample_energy = sample_energy
         #: Per-job payload-size sampler (section 2.2.2: execution scales
@@ -150,6 +160,7 @@ class ServerlessSystem:
 
     def _build(self, sim: Simulator) -> None:
         self.sim = sim
+        self.registry = MetricsRegistry()
         if self.shared_cluster is not None:
             # Multi-tenant deployment: tenants share one physical
             # cluster (pools stay isolated per the paper's footnote 4).
@@ -169,7 +180,9 @@ class ServerlessSystem:
         self.energy_meter = EnergyMeter(
             model=self.power_model, interval_ms=self.config.monitor_interval_ms
         )
-        self.metrics = MetricsCollector(self.energy_meter)
+        self.metrics = MetricsCollector(
+            self.energy_meter, tracer=self.tracer, registry=self.registry
+        )
         self.pools = {}
         for name in self.mix.function_names():
             svc = self._service(name)
@@ -189,6 +202,7 @@ class ServerlessSystem:
                 delay_window_ms=self.config.monitor_interval_ms,
                 single_use=self.config.single_use,
                 fault_model=self.fault_model,
+                registry=self.registry,
             )
             self.store.insert(
                 "stages",
@@ -387,6 +401,7 @@ def run_policy(
     cold_start_model: Optional[ColdStartModel] = None,
     power_model: Optional[NodePowerModel] = None,
     fault_model=None,
+    tracer: Optional[Tracer] = None,
     **config_overrides,
 ) -> RunResult:
     """Convenience one-call runner used by examples and benches.
@@ -407,5 +422,6 @@ def run_policy(
         seed=seed,
         drain_ms=drain_ms,
         fault_model=fault_model,
+        tracer=tracer,
     )
     return system.run(trace)

@@ -19,6 +19,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.metrics.collector import MetricsCollector
+from repro.obs.registry import MetricsRegistry
 from repro.prediction.windowed import WindowedMaxSampler
 from repro.serve.clock import ScaledClock
 from repro.workflow.job import Job, Task
@@ -41,6 +42,7 @@ class Gateway:
         max_pending: int = 0,
         input_scale_sampler: Optional[Callable[[np.random.Generator], float]] = None,
         shed_expired: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_pending < 0:
             raise ValueError("max_pending must be >= 0")
@@ -53,19 +55,52 @@ class Gateway:
         self.max_pending = max_pending
         self.input_scale_sampler = input_scale_sampler
         self.shed_expired = shed_expired
-        self.in_flight = 0
-        self.admitted = 0
-        self.shed = 0
-        #: Arrivals shed because their slack was already gone (deadline
-        #: shedding) — kept separate from backpressure sheds.
-        self.shed_deadline = 0
-        #: Jobs terminally failed (retries exhausted, dead-lettered).
-        self.dead_lettered = 0
-        #: Completion/failure signals for jobs already terminal — a
-        #: symptom of a double-delivery bug; counted, never applied.
-        self.duplicate_completions = 0
+        # Admission counters live in the run's metrics registry (shared
+        # with the pools and the collector unless told otherwise); the
+        # former ad-hoc integer attributes are read-only views below.
+        self.registry = registry if registry is not None else metrics.registry
+        self._g_in_flight = self.registry.gauge("gateway_in_flight")
+        self._c_admitted = self.registry.counter("gateway_admitted_total")
+        self._c_shed = self.registry.counter("gateway_shed_total")
+        self._c_shed_deadline = self.registry.counter(
+            "gateway_shed_deadline_total")
+        self._c_dead_lettered = self.registry.counter(
+            "gateway_dead_lettered_total")
+        self._c_duplicates = self.registry.counter(
+            "gateway_duplicate_completions_total")
         self._idle = asyncio.Event()
         self._idle.set()
+
+    # -- registry-backed counters (read-only views) ------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return int(self._g_in_flight.value)
+
+    @property
+    def admitted(self) -> int:
+        return int(self._c_admitted.value)
+
+    @property
+    def shed(self) -> int:
+        return int(self._c_shed.value)
+
+    @property
+    def shed_deadline(self) -> int:
+        """Arrivals shed because their slack was already gone (deadline
+        shedding) — kept separate from backpressure sheds."""
+        return int(self._c_shed_deadline.value)
+
+    @property
+    def dead_lettered(self) -> int:
+        """Jobs terminally failed (retries exhausted, dead-lettered)."""
+        return int(self._c_dead_lettered.value)
+
+    @property
+    def duplicate_completions(self) -> int:
+        """Completion/failure signals for jobs already terminal — a
+        symptom of a double-delivery bug; counted, never applied."""
+        return int(self._c_duplicates.value)
 
     # -- request path ------------------------------------------------------
 
@@ -84,13 +119,13 @@ class Gateway:
         self.sampler.record(now)
         self.metrics.record_job_created()
         if self.max_pending and self.in_flight >= self.max_pending:
-            self.shed += 1
+            self._c_shed.inc()
             return None
         if app is None:
             app = self.mix.sample_application(self.rng)
         if self.shed_expired and self._deadline_expired(app):
-            self.shed += 1
-            self.shed_deadline += 1
+            self._c_shed.inc()
+            self._c_shed_deadline.inc()
             return None
         if input_scale is None:
             input_scale = (
@@ -99,8 +134,8 @@ class Gateway:
                 else 1.0
             )
         job = Job(app=app, arrival_ms=now, input_scale=input_scale)
-        self.in_flight += 1
-        self.admitted += 1
+        self._g_in_flight.inc()
+        self._c_admitted.inc()
         self._idle.clear()
         # Ingress hop: the transition overhead precedes every stage.
         self._later(app.transition_overhead_ms, job, 0)
@@ -142,7 +177,7 @@ class Gateway:
         """
         job = task.job
         if job.terminal:
-            self.duplicate_completions += 1
+            self._c_duplicates.inc()
             return
         if task.is_last_stage:
             job.completion_ms = self.clock.now
@@ -159,16 +194,16 @@ class Gateway:
         """
         job = task.job
         if job.terminal:
-            self.duplicate_completions += 1
+            self._c_duplicates.inc()
             return
         job.failed_ms = self.clock.now
         job.failure_reason = reason
         self.metrics.record_job_failed(job)
-        self.dead_lettered += 1
+        self._c_dead_lettered.inc()
         self._settle()
 
     def _settle(self) -> None:
-        self.in_flight -= 1
+        self._g_in_flight.dec()
         if self.in_flight == 0:
             self._idle.set()
 

@@ -28,6 +28,8 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer, root_span_id, trace_id_for_job
 from repro.serve.clock import ScaledClock
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -142,14 +144,28 @@ class RetryManager:
         clock: ScaledClock,
         rng: np.random.Generator,
         on_give_up: Callable[["Task", str], None],
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.policy = policy
         self.clock = clock
         self.rng = rng
         self.on_give_up = on_give_up
+        self.tracer = tracer
+        self.registry = registry or MetricsRegistry()
+        self._c_scheduled = self.registry.counter("retry_scheduled_total")
+        self._c_dead_lettered = self.registry.counter(
+            "retry_dead_lettered_total")
+        self._g_pending = self.registry.gauge("retry_pending_backoffs")
         self.dlq = DeadLetterQueue()
-        self.retries_scheduled = 0
-        self.pending_backoffs = 0
+
+    @property
+    def retries_scheduled(self) -> int:
+        return int(self._c_scheduled.value)
+
+    @property
+    def pending_backoffs(self) -> int:
+        return int(self._g_pending.value)
 
     def handle_failure(
         self, pool: "FunctionPool", task: "Task", reason: str
@@ -166,8 +182,22 @@ class RetryManager:
             if residual + grace < backoff:
                 self._dead_letter(pool, task, f"{reason}:deadline-exceeded")
                 return
-        self.retries_scheduled += 1
-        self.pending_backoffs += 1
+        self._c_scheduled.inc()
+        self._g_pending.inc()
+        if self.tracer is not None:
+            # The one request-path event invisible to the job's latency
+            # records: the planned backoff window before the retry.
+            now = self.clock.now
+            trace_id = trace_id_for_job(task.job)
+            self.tracer.span(
+                "backoff", trace_id,
+                f"{trace_id}/{task.stage_index}/backoff/{task.attempts}",
+                now, now + backoff, root_span_id(trace_id),
+                function=task.function,
+                stage_index=task.stage_index,
+                attempt=task.attempts,
+                reason=reason,
+            )
         if backoff <= 0.0:
             self._requeue(pool, task)
         else:
@@ -176,7 +206,7 @@ class RetryManager:
             )
 
     def _requeue(self, pool: "FunctionPool", task: "Task") -> None:
-        self.pending_backoffs -= 1
+        self._g_pending.dec()
         record = task.record
         record.start_ms = -1.0
         record.cold_start_wait_ms = 0.0
@@ -188,5 +218,6 @@ class RetryManager:
 
     def _dead_letter(self, pool: "FunctionPool", task: "Task", reason: str) -> None:
         pool.tasks_dead_lettered += 1
+        self._c_dead_lettered.inc()
         self.dlq.add(task, reason, self.clock.now)
         self.on_give_up(task, reason)

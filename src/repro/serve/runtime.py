@@ -31,6 +31,8 @@ from repro.core.scaling import (
     static_pool_sizes,
 )
 from repro.metrics.collector import MetricsCollector, RunResult
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.prediction.base import Predictor
 from repro.prediction.windowed import WindowedMaxSampler
 from repro.runtime.system import ClusterSpec, ServerlessSystem
@@ -64,6 +66,7 @@ class ServingRuntime:
         options: ServeOptions = ServeOptions(),
         work: Optional[WorkFn] = None,
         input_scale_sampler: Optional[Callable[[np.random.Generator], float]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config
         self.mix = mix
@@ -72,6 +75,12 @@ class ServingRuntime:
         self.options = options
         self.work = work
         self.input_scale_sampler = input_scale_sampler
+        #: Optional request-span tracer; shares the span schema with the
+        #: simulator (both record through the metrics collector).
+        self.tracer = tracer
+        #: One registry backs every counter of the run — gateway, pools,
+        #: retry layer, collector — so totals always reconcile.
+        self.registry = MetricsRegistry()
         self.cold_start_model = cold_start_model or ColdStartModel()
         self.power_model = power_model or NodePowerModel()
         # Offline planning step, shared verbatim with the simulator:
@@ -105,6 +114,8 @@ class ServingRuntime:
 
     def _build(self, executor: ThreadPoolExecutor) -> None:
         config = self.config
+        # Fresh registry per build, like every other per-run component.
+        self.registry = MetricsRegistry()
         self.clock = ScaledClock(self.options.time_scale)
         self.cluster = Cluster(
             n_nodes=self.cluster_spec.n_nodes,
@@ -119,7 +130,9 @@ class ServingRuntime:
         self.energy_meter = EnergyMeter(
             model=self.power_model, interval_ms=config.monitor_interval_ms
         )
-        self.metrics = MetricsCollector(self.energy_meter)
+        self.metrics = MetricsCollector(
+            self.energy_meter, tracer=self.tracer, registry=self.registry
+        )
         self.pools = {}
         self.gateway = Gateway(
             clock=self.clock,
@@ -149,6 +162,8 @@ class ServingRuntime:
             clock=self.clock,
             rng=rng_retry,
             on_give_up=self.gateway.on_task_failed,
+            registry=self.registry,
+            tracer=self.tracer,
         )
         for name in self.mix.function_names():
             svc = self._planner._service(name)
@@ -174,6 +189,7 @@ class ServingRuntime:
                 delay_window_ms=config.monitor_interval_ms,
                 single_use=config.single_use,
                 fault_model=self.chaos.container_faults if self.chaos else None,
+                registry=self.registry,
             )
         for pool in self.pools.values():
             pool.reclaim_callback = self._reclaim_idle_capacity
@@ -334,6 +350,7 @@ def serve_trace(
     seed: int = 0,
     options: ServeOptions = ServeOptions(),
     work: Optional[WorkFn] = None,
+    tracer: Optional[Tracer] = None,
     **config_overrides,
 ) -> RunResult:
     """Convenience one-call live runner, mirroring ``run_policy``."""
@@ -346,5 +363,6 @@ def serve_trace(
         seed=seed,
         options=options,
         work=work,
+        tracer=tracer,
     )
     return runtime.run(trace)

@@ -21,6 +21,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.coldstart import ColdStartModel
 from repro.cluster.container import Container, ContainerState, DEAD_STATES
 from repro.core.scheduling import SchedulingPolicy, TaskQueue, make_queue
+from repro.obs.registry import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.workflow.job import Task
 from repro.workloads.microservices import Microservice
@@ -46,11 +47,36 @@ class FunctionPool:
         delay_window_ms: float = 10_000.0,
         single_use: bool = False,
         fault_model=None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.sim = sim
         self.service = service
+        # The run-wide metrics registry backs every counter this pool
+        # exposes (a private registry is created when none is shared):
+        # the attribute names below stay readable/writable, but the
+        # values live in registry counters labelled by pool, so run
+        # totals always reconcile with the per-pool sums.
+        self.registry = registry or MetricsRegistry()
+        label = {"pool": service.name}
+        self._c_crashes = self.registry.counter(
+            "pool_container_crashes_total", **label)
+        self._c_retries = self.registry.counter(
+            "pool_task_retries_total", **label)
+        self._c_timeouts = self.registry.counter(
+            "pool_task_timeouts_total", **label)
+        self._c_dead_lettered = self.registry.counter(
+            "pool_tasks_dead_lettered_total", **label)
+        self._c_spawns = self.registry.counter("pool_spawns_total", **label)
+        self._c_failed_spawns = self.registry.counter(
+            "pool_failed_spawns_total", **label)
+        self._c_enqueued = self.registry.counter(
+            "pool_tasks_enqueued_total", **label)
+        self._c_completed = self.registry.counter(
+            "pool_tasks_completed_total", **label)
+        self._g_containers = self.registry.gauge(
+            "pool_live_containers", **label)
         self.cluster = cluster
         self.batch_size = batch_size
         self.stage_slack_ms = stage_slack_ms
@@ -97,6 +123,75 @@ class FunctionPool:
         self._recent_delays: Deque[Tuple[float, float]] = deque()
         #: Enqueue timestamps within the monitor window (arrival rate).
         self._recent_enqueues: Deque[float] = deque()
+
+    # -- registry-backed counters -------------------------------------------
+    # Exposed as int attributes for compatibility (``pool.task_retries
+    # += 1`` keeps working everywhere, including the retry layer and
+    # fault injectors), but the single source of truth is the registry.
+
+    @property
+    def container_crashes(self) -> int:
+        return int(self._c_crashes.value)
+
+    @container_crashes.setter
+    def container_crashes(self, value: int) -> None:
+        self._c_crashes.set_value(float(value))
+
+    @property
+    def task_retries(self) -> int:
+        return int(self._c_retries.value)
+
+    @task_retries.setter
+    def task_retries(self, value: int) -> None:
+        self._c_retries.set_value(float(value))
+
+    @property
+    def task_timeouts(self) -> int:
+        return int(self._c_timeouts.value)
+
+    @task_timeouts.setter
+    def task_timeouts(self, value: int) -> None:
+        self._c_timeouts.set_value(float(value))
+
+    @property
+    def tasks_dead_lettered(self) -> int:
+        return int(self._c_dead_lettered.value)
+
+    @tasks_dead_lettered.setter
+    def tasks_dead_lettered(self, value: int) -> None:
+        self._c_dead_lettered.set_value(float(value))
+
+    @property
+    def total_spawns(self) -> int:
+        return int(self._c_spawns.value)
+
+    @total_spawns.setter
+    def total_spawns(self, value: int) -> None:
+        self._c_spawns.set_value(float(value))
+
+    @property
+    def failed_spawns(self) -> int:
+        return int(self._c_failed_spawns.value)
+
+    @failed_spawns.setter
+    def failed_spawns(self, value: int) -> None:
+        self._c_failed_spawns.set_value(float(value))
+
+    @property
+    def tasks_enqueued(self) -> int:
+        return int(self._c_enqueued.value)
+
+    @tasks_enqueued.setter
+    def tasks_enqueued(self, value: int) -> None:
+        self._c_enqueued.set_value(float(value))
+
+    @property
+    def tasks_completed(self) -> int:
+        return int(self._c_completed.value)
+
+    @tasks_completed.setter
+    def tasks_completed(self, value: int) -> None:
+        self._c_completed.set_value(float(value))
 
     # -- capacity views ------------------------------------------------------
 

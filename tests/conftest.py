@@ -1,0 +1,22 @@
+"""Shared pytest plumbing: the golden-snapshot update flag.
+
+``pytest --update-golden`` rewrites the snapshots under ``tests/golden/``
+from the current run instead of diffing against them.  Tests consume the
+decision through the ``update_golden`` fixture.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden snapshots from the current run",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")

@@ -206,3 +206,66 @@ class TestMetricsCollector:
         series = result.cumulative_spawn_series(10_000.0)
         assert list(series) == [1, 3, 3]
         assert result.cold_starts == 3
+
+
+class TestRegistryReconciliation:
+    """RunResult's counters must equal the metrics registry's totals.
+
+    The collector sums per-pool attributes; those attributes are
+    property-backed by registry counters, so the two views can only
+    diverge if some mutation bypasses the registry — exactly the drift
+    these assertions exist to catch.
+    """
+
+    def test_collector_counts_match_registry(self):
+        meter = EnergyMeter(model=NodePowerModel(), interval_ms=10_000.0)
+        collector = MetricsCollector(meter)
+        for _ in range(5):
+            collector.record_job_created()
+        for _ in range(3):
+            collector.record_job_completed(_completed_job(0.0, 500.0))
+        reg = collector.registry
+        assert reg.value("jobs_created_total") == 5
+        assert reg.value("jobs_completed_total") == 3
+        assert reg.value("jobs_failed_total") == 0
+        assert reg.merged_histogram("request_latency_ms").count == 3
+
+    def test_live_run_resilience_counters_reconcile(self):
+        from repro.core.policies import make_policy_config
+        from repro.serve import (
+            FaultConfig,
+            RetryPolicy,
+            ServeOptions,
+            ServingRuntime,
+        )
+        from repro.traces import poisson_trace
+        from repro.workloads import get_mix
+
+        runtime = ServingRuntime(
+            config=make_policy_config("rscale", idle_timeout_ms=60_000.0),
+            mix=get_mix("light"),
+            seed=13,
+            options=ServeOptions(
+                time_scale=0.005,
+                faults=FaultConfig(crash_prob=0.25),
+                retry=RetryPolicy(max_attempts=2, base_backoff_ms=5.0),
+            ),
+        )
+        result = runtime.run(poisson_trace(12.0, 4.0, seed=13))
+        reg = runtime.registry
+        # The chaos settings must actually exercise the retry path.
+        assert result.container_crashes > 0
+        assert reg.total("pool_task_retries_total") == result.task_retries
+        assert reg.total("pool_container_crashes_total") \
+            == result.container_crashes
+        assert reg.total("pool_task_timeouts_total") == result.task_timeouts
+        assert reg.total("pool_tasks_dead_lettered_total") \
+            == result.dead_lettered
+        assert result.dead_lettered == len(runtime.retry_manager.dlq)
+        assert reg.value("retry_dead_lettered_total") \
+            == len(runtime.retry_manager.dlq)
+        assert reg.value("gateway_dead_lettered_total") == result.n_failed
+        assert reg.value("jobs_created_total") == result.n_jobs
+        assert reg.value("jobs_completed_total") == result.n_completed
+        assert reg.value("jobs_failed_total") == result.n_failed
+        assert reg.value("gateway_in_flight") == 0
