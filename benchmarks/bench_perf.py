@@ -1,0 +1,262 @@
+"""Persistent performance harness: engine throughput + runner scaling.
+
+Unlike the ``bench_*`` pytest benches (which regenerate paper tables),
+this is a standalone script that measures the *simulator's own* speed
+and writes the numbers to ``BENCH_sim.json`` so regressions show up in
+review diffs and CI can assert a floor:
+
+* engine events/sec on the reference workload, with the bulk-arrival
+  fast path on and off (the legacy per-arrival injection), plus a
+  parity check that both paths produce the same summary;
+* EventQueue micro-throughput under push/pop and cancel-heavy churn
+  (exercising lazy-cancellation compaction);
+* experiment-runner wall-clock for a seeded repeat batch run serially
+  vs ``--workers N``, and the warm-cache replay of the same batch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick
+    PYTHONPATH=src python benchmarks/bench_perf.py --workers 4 \
+        --min-eps 20000 --out BENCH_sim.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.policies import make_policy_config  # noqa: E402
+from repro.runtime.system import ClusterSpec, ServerlessSystem  # noqa: E402
+from repro.sim.engine import Event, EventQueue, Simulator  # noqa: E402
+from repro.traces import step_poisson_trace  # noqa: E402
+from repro.workloads import get_mix  # noqa: E402
+
+
+#: Pre-fast-path engine throughput on the reference workload (rscale /
+#: heavy / step-Poisson 80 rps x 120 s, 8 nodes, seed 5), measured on
+#: the development machine at the commit before the fast-path work.
+#: Full (non --quick) runs compare against it so BENCH_sim.json records
+#: the cumulative engine speedup, not just the fast-vs-legacy A/B.
+PRE_FASTPATH_BASELINE_EPS = 47_556.0
+
+
+def _reference_run(fast_path: bool, rate: float, duration: float):
+    """One reference-workload run; returns (summary, events, wall_s)."""
+    trace = step_poisson_trace(rate, duration, variation=0.4, seed=5)
+    system = ServerlessSystem(
+        config=make_policy_config("rscale", idle_timeout_ms=60_000.0),
+        mix=get_mix("heavy"),
+        cluster_spec=ClusterSpec(n_nodes=8),
+        seed=5,
+        fast_path=fast_path,
+    )
+    started = time.perf_counter()
+    result = system.run(trace)
+    wall = time.perf_counter() - started
+    return result.summary(), system.sim.events_executed, wall
+
+
+def bench_engine(rate: float, duration: float) -> dict:
+    fast_summary, fast_events, fast_wall = _reference_run(True, rate, duration)
+    legacy_summary, legacy_events, legacy_wall = _reference_run(
+        False, rate, duration
+    )
+    if fast_summary != legacy_summary:
+        raise AssertionError(
+            "fast-path summary diverged from legacy arrival injection"
+        )
+    return {
+        "workload": {
+            "policy": "rscale", "mix": "heavy", "trace": "step-poisson",
+            "rate_rps": rate, "duration_s": duration, "nodes": 8, "seed": 5,
+        },
+        "fast": {
+            "events": fast_events,
+            "wall_s": round(fast_wall, 4),
+            "events_per_sec": round(fast_events / fast_wall, 1),
+        },
+        "legacy_injection": {
+            "events": legacy_events,
+            "wall_s": round(legacy_wall, 4),
+            "events_per_sec": round(legacy_events / legacy_wall, 1),
+        },
+        "fast_vs_legacy_speedup": round(
+            (fast_events / fast_wall) / (legacy_events / legacy_wall), 3
+        ),
+        "parity": True,
+    }
+
+
+def _with_baseline(engine: dict, quick: bool) -> dict:
+    """Attach the pinned pre-fast-path reference (full runs only: the
+    baseline was measured at the full reference-workload shape)."""
+    if quick:
+        return engine
+    eps = engine["fast"]["events_per_sec"]
+    engine["pre_fastpath_baseline"] = {
+        "events_per_sec": PRE_FASTPATH_BASELINE_EPS,
+        "note": "measured on the development machine before the "
+                "fast-path work; cross-machine comparisons are "
+                "indicative only",
+    }
+    engine["speedup_vs_pre_fastpath"] = round(
+        eps / PRE_FASTPATH_BASELINE_EPS, 3
+    )
+    return engine
+
+
+def bench_event_queue(n: int) -> dict:
+    out = {}
+    # Pure push/pop throughput.
+    queue = EventQueue()
+    noop = lambda: None  # noqa: E731
+    started = time.perf_counter()
+    for i in range(n):
+        queue.push(Event(time=float(i % 997), priority=0, callback=noop))
+    while queue:
+        queue.pop()
+    wall = time.perf_counter() - started
+    out["push_pop"] = {
+        "events": n,
+        "wall_s": round(wall, 4),
+        "ops_per_sec": round(2 * n / wall, 1),
+    }
+    # Cancel-heavy churn: 80% of pushes are cancelled before popping,
+    # the regime the compaction guard exists for.
+    sim = Simulator()
+    started = time.perf_counter()
+    for i in range(n):
+        handle = sim.schedule_at(float(i), noop)
+        if i % 5 != 0:
+            sim.cancel(handle)
+    queue = sim._queue
+    while queue:
+        queue.pop()
+    wall = time.perf_counter() - started
+    out["cancel_churn"] = {
+        "events": n,
+        "cancelled_fraction": 0.8,
+        "wall_s": round(wall, 4),
+        "ops_per_sec": round(2 * n / wall, 1),
+        "compactions": queue.compactions,
+        "final_heap_size": queue.heap_size(),
+    }
+    return out
+
+
+def bench_runner(workers: int, rate: float, duration: float,
+                 repeats: int) -> dict:
+    from repro.experiments.runner import (
+        ExperimentRunner, repeat_specs, summaries_json,
+    )
+
+    specs = repeat_specs(
+        "rscale", base_seed=11, repeats=repeats,
+        mix="heavy", trace_kind="step-poisson",
+        rate_rps=rate, duration_s=duration, nodes=5,
+    )
+    serial = ExperimentRunner(workers=1, cache_dir=None)
+    started = time.perf_counter()
+    serial_results = serial.run(specs)
+    serial_wall = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="bench-cache-") as cache_dir:
+        parallel = ExperimentRunner(workers=workers, cache_dir=cache_dir)
+        started = time.perf_counter()
+        parallel_results = parallel.run(specs)
+        parallel_wall = time.perf_counter() - started
+        if summaries_json(serial_results) != summaries_json(parallel_results):
+            raise AssertionError("parallel summaries diverged from serial")
+
+        warm = ExperimentRunner(workers=workers, cache_dir=cache_dir)
+        started = time.perf_counter()
+        warm_results = warm.run(specs)
+        warm_wall = time.perf_counter() - started
+        if summaries_json(warm_results) != summaries_json(serial_results):
+            raise AssertionError("cache replay diverged from cold run")
+        hits, misses = warm.cache_hits, warm.cache_misses
+
+    return {
+        "trials": repeats,
+        "workers": workers,
+        "serial_wall_s": round(serial_wall, 3),
+        "parallel_wall_s": round(parallel_wall, 3),
+        "parallel_speedup": round(serial_wall / parallel_wall, 3),
+        "warm_cache_wall_s": round(warm_wall, 3),
+        "warm_cache_hits": hits,
+        "warm_cache_misses": misses,
+        "determinism": "serial == parallel == cache replay",
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short runs for CI smoke (seconds, not minutes)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes for the runner comparison")
+    parser.add_argument("--min-eps", type=float, default=0.0,
+                        help="fail if fast-path events/sec drops below this")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_sim.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        rate, duration, queue_n, repeats = 40.0, 60.0, 50_000, 3
+        runner_rate, runner_duration = 30.0, 45.0
+    else:
+        rate, duration, queue_n, repeats = 80.0, 120.0, 200_000, 6
+        runner_rate, runner_duration = 50.0, 120.0
+
+    report = {
+        "bench": "simulator performance harness",
+        "mode": "quick" if args.quick else "full",
+        "python": sys.version.split()[0],
+    }
+
+    print("engine throughput (fast vs legacy arrival injection)...")
+    report["engine"] = _with_baseline(bench_engine(rate, duration), args.quick)
+    eng = report["engine"]
+    print(f"  fast:   {eng['fast']['events_per_sec']:>10,.0f} events/s "
+          f"({eng['fast']['events']} events in {eng['fast']['wall_s']}s)")
+    print(f"  legacy: {eng['legacy_injection']['events_per_sec']:>10,.0f} "
+          f"events/s  -> speedup {eng['fast_vs_legacy_speedup']}x, parity ok")
+
+    print("event-queue micro-bench...")
+    report["event_queue"] = bench_event_queue(queue_n)
+    eq = report["event_queue"]
+    print(f"  push/pop:     {eq['push_pop']['ops_per_sec']:>12,.0f} ops/s")
+    print(f"  cancel churn: {eq['cancel_churn']['ops_per_sec']:>12,.0f} ops/s "
+          f"({eq['cancel_churn']['compactions']} compactions, final heap "
+          f"{eq['cancel_churn']['final_heap_size']})")
+
+    print(f"experiment runner ({repeats} trials, "
+          f"serial vs {args.workers} workers vs warm cache)...")
+    report["runner"] = bench_runner(args.workers, runner_rate,
+                                    runner_duration, repeats)
+    rn = report["runner"]
+    print(f"  serial {rn['serial_wall_s']}s | parallel "
+          f"{rn['parallel_wall_s']}s ({rn['parallel_speedup']}x) | warm "
+          f"cache {rn['warm_cache_wall_s']}s "
+          f"({rn['warm_cache_hits']}/{rn['trials']} hits)")
+
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    if args.min_eps and eng["fast"]["events_per_sec"] < args.min_eps:
+        print(f"FAIL: fast-path {eng['fast']['events_per_sec']:,.0f} "
+              f"events/s below floor {args.min_eps:,.0f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

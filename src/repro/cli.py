@@ -2,7 +2,11 @@
 
 Commands:
 
-* ``run``      — simulate one policy on a workload mix and trace.
+* ``run``      — simulate one policy on a workload mix and trace
+  (``--repeats``/``--workers``/``--cache-dir`` fan repeated seeds out
+  over processes with a disk result cache).
+* ``sweep``    — sweep one RMConfig knob through the same parallel
+  cached runner.
 * ``serve``    — serve a trace live on the wall clock (asyncio runtime).
 * ``compare``  — policies side by side (Figure 8 structure).
 * ``predict``  — train and score the eight forecasters (Figure 6).
@@ -21,29 +25,15 @@ from repro.core.policies import EXTENDED_POLICY_NAMES, make_policy_config
 from repro.experiments import format_table, normalize
 from repro.experiments.predictors import pretrained_predictor
 from repro.runtime.system import ClusterSpec, ServerlessSystem
-from repro.traces import (
-    poisson_trace,
-    step_poisson_trace,
-    wiki_trace,
-    wits_trace,
-)
+from repro.traces import TRACE_KINDS, make_trace
 from repro.traces.base import ArrivalTrace
 from repro.workloads import APPLICATIONS, MICROSERVICES, WORKLOAD_MIXES, get_mix
 
-TRACES = ("poisson", "step-poisson", "wiki", "wits")
+TRACES = TRACE_KINDS
 
 
 def _make_trace(kind: str, rate: float, duration: float, seed: int) -> ArrivalTrace:
-    if kind == "poisson":
-        return poisson_trace(rate, duration, seed=seed)
-    if kind == "step-poisson":
-        return step_poisson_trace(rate, duration, seed=seed)
-    if kind == "wiki":
-        return wiki_trace(avg_rps=rate, duration_s=duration, seed=seed)
-    if kind == "wits":
-        return wits_trace(avg_rps=rate, peak_rps=rate * 4, duration_s=duration,
-                          seed=seed)
-    raise ValueError(f"unknown trace {kind!r}")
+    return make_trace(kind, rate, duration, seed)
 
 
 def _result_row(policy: str, result) -> tuple:
@@ -115,7 +105,79 @@ def _emit_obs(args, tracer, registry, result) -> None:
         print(f"metrics: {args.metrics_out}")
 
 
+def _runner_from_args(args):
+    from repro.experiments.runner import ExperimentRunner
+
+    return ExperimentRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
+def _cache_note(runner) -> str:
+    if runner.cache_dir is None:
+        return ""
+    return (f"  [cache: {runner.cache_hits} hit(s), "
+            f"{runner.cache_misses} executed]")
+
+
+def _run_batch(args) -> int:
+    """run/simulate through the experiment runner (repeats, workers,
+    disk cache); prints one summary row per trial plus the aggregate."""
+    from repro.experiments.repeats import DEFAULT_METRICS, aggregate_summaries
+    from repro.experiments.runner import TrialSpec, repeat_specs
+
+    if args.trace_out or args.metrics_out:
+        print("note: --trace-out/--metrics-out are ignored with "
+              "--repeats/--workers/--cache-dir (trials may run in other "
+              "processes or come from cache)", file=sys.stderr)
+    common = dict(mix=args.mix, trace_kind=args.trace, rate_rps=args.rate,
+                  duration_s=args.duration, nodes=args.nodes)
+    if args.repeats > 1:
+        specs = repeat_specs(args.policy, base_seed=args.seed,
+                             repeats=args.repeats, **common)
+    else:
+        specs = [TrialSpec.make(args.policy, seed=args.seed, **common)]
+    runner = _runner_from_args(args)
+    results = runner.run(specs)
+    rows = [
+        (
+            r.spec.seed,
+            f"{r.summary['slo_violation_rate']:.3%}",
+            f"{r.summary['median_latency_ms']:.0f}",
+            f"{r.summary['p99_latency_ms']:.0f}",
+            f"{r.summary['avg_containers']:.1f}",
+            int(r.summary['cold_starts']),
+            f"{r.summary['energy_joules'] / 1e3:.0f}",
+            "cache" if r.from_cache else f"{r.wall_s:.1f}s",
+        )
+        for r in results
+    ]
+    print(format_table(
+        ["seed", "SLO viol", "median(ms)", "P99(ms)", "avg containers",
+         "cold starts", "energy(kJ)", "source"],
+        rows,
+        title=f"{args.policy} on {args.mix} mix / {args.trace} trace "
+              f"x{len(results)}{_cache_note(runner)}",
+    ))
+    if len(results) > 1:
+        stats = aggregate_summaries(
+            [r.summary for r in results], DEFAULT_METRICS
+        )
+        print()
+        print(format_table(
+            ["metric", "mean", "std", "min", "max"],
+            [(m, f"{s.mean:.3f}", f"{s.std:.3f}", f"{s.min:.3f}",
+              f"{s.max:.3f}") for m, s in stats.items()],
+            title=f"aggregate over {len(results)} seeds:",
+        ))
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.repeats > 1 or args.workers > 1 or args.cache_dir:
+        return _run_batch(args)
     tracer = _make_tracer(args)
     result, system = _run_one(args.policy, args.mix, args.trace, args.rate,
                               args.duration, args.seed, args.nodes,
@@ -257,6 +319,54 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sweep_value(raw: str):
+    """Best-effort typed parse for swept RMConfig values."""
+    for convert in (int, float):
+        try:
+            return convert(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Sweep one RMConfig knob via the parallel cached runner."""
+    from repro.experiments.sweeps import sweep_config_field_parallel
+
+    values = [_parse_sweep_value(v) for v in args.values]
+    runner_kwargs = dict(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    curves = sweep_config_field_parallel(
+        args.policy, args.field, values,
+        mix_name=args.mix, trace_kind=args.trace, rate_rps=args.rate,
+        duration_s=args.duration, nodes=args.nodes, seed=args.seed,
+        **runner_kwargs,
+    )
+    rows = [
+        (
+            value,
+            f"{s['slo_violation_rate']:.3%}",
+            f"{s['median_latency_ms']:.0f}",
+            f"{s['p99_latency_ms']:.0f}",
+            f"{s['avg_containers']:.1f}",
+            int(s['cold_starts']),
+            f"{s['energy_joules'] / 1e3:.0f}",
+        )
+        for value, s in curves.items()
+    ]
+    print(format_table(
+        [args.field, "SLO viol", "median(ms)", "P99(ms)", "avg containers",
+         "cold starts", "energy(kJ)"],
+        rows,
+        title=f"{args.policy}: sweep {args.field} on {args.mix} mix / "
+              f"{args.trace} trace (seed {args.seed})",
+    ))
+    return 0
+
+
 def cmd_predict(args: argparse.Namespace) -> int:
     from repro.prediction import default_predictors, evaluate_all, windowed_max_series
 
@@ -390,12 +500,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "by trace id; a trace is kept whole or "
                             "dropped whole)")
 
+    def add_parallel(p):
+        p.add_argument("--workers", type=int, default=1,
+                       help="trial-level worker processes (1 = in-process "
+                            "serial; results are identical either way)")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="disk cache for finished trials; re-runs and "
+                            "resumed sweeps skip completed configurations")
+        p.add_argument("--no-cache", action="store_true",
+                       help="ignore cached trial results (fresh results "
+                            "are still written to --cache-dir)")
+
     run_p = sub.add_parser("run", aliases=["simulate"],
                            help="simulate one policy")
     run_p.add_argument("policy", choices=EXTENDED_POLICY_NAMES)
     add_common(run_p)
     add_obs(run_p)
+    add_parallel(run_p)
+    run_p.add_argument("--repeats", type=int, default=1,
+                       help="repeat across this many seeds derived from "
+                            "--seed (SeedSequence.spawn) and aggregate")
     run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="sweep one RMConfig knob (parallel, cached)"
+    )
+    sweep_p.add_argument("policy", choices=EXTENDED_POLICY_NAMES)
+    sweep_p.add_argument("--field", required=True,
+                         help="RMConfig field to sweep "
+                              "(e.g. max_batch, idle_timeout_ms)")
+    sweep_p.add_argument("--values", nargs="+", required=True,
+                         help="values to sweep over")
+    add_common(sweep_p)
+    add_parallel(sweep_p)
+    sweep_p.set_defaults(func=cmd_sweep)
 
     serve_p = sub.add_parser(
         "serve", help="serve a trace live on the wall clock"

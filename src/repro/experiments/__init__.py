@@ -50,9 +50,30 @@ from repro.experiments.ablations import (
     slo_sensitivity,
 )
 from repro.experiments.scaling_study import container_savings, run_scaling_study
-from repro.experiments.repeats import MetricStats, aggregate, repeated_runs
+from repro.experiments.repeats import (
+    MetricStats,
+    aggregate,
+    aggregate_summaries,
+    repeated_runs,
+    repeated_summaries,
+)
+from repro.experiments.runner import (
+    ExperimentRunner,
+    TrialResult,
+    TrialSpec,
+    config_hash,
+    derive_seeds,
+    repeat_specs,
+    run_trial,
+    summaries_json,
+    sweep_specs,
+)
 from repro.experiments.summary import ReportScale, generate_report
-from repro.experiments.sweeps import metric_curve, sweep_config_field
+from repro.experiments.sweeps import (
+    metric_curve,
+    sweep_config_field,
+    sweep_config_field_parallel,
+)
 
 __all__ = [
     "figure2_rows",
@@ -82,9 +103,21 @@ __all__ = [
     "run_scaling_study",
     "MetricStats",
     "aggregate",
+    "aggregate_summaries",
     "repeated_runs",
+    "repeated_summaries",
+    "ExperimentRunner",
+    "TrialResult",
+    "TrialSpec",
+    "config_hash",
+    "derive_seeds",
+    "repeat_specs",
+    "run_trial",
+    "summaries_json",
+    "sweep_specs",
     "ReportScale",
     "generate_report",
     "metric_curve",
     "sweep_config_field",
+    "sweep_config_field_parallel",
 ]

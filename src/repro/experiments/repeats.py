@@ -109,6 +109,61 @@ def aggregate(
     return out
 
 
+def repeated_summaries(
+    policy: str,
+    mix_name: str = "heavy",
+    base_seed: int = 1,
+    repeats: int = 5,
+    trace_kind: str = "step-poisson",
+    rate_rps: float = 50.0,
+    duration_s: float = 180.0,
+    nodes: int = 5,
+    workers: int = 1,
+    cache_dir=None,
+    use_cache: bool = True,
+    **config_overrides,
+) -> List[Dict[str, float]]:
+    """Parallel/cached variant of :func:`repeated_runs`.
+
+    Runs through :class:`~repro.experiments.runner.ExperimentRunner`,
+    so trials fan out over *workers* processes and completed trials are
+    replayed from *cache_dir*.  Returns one ``RunResult.summary()``
+    dict per derived seed, in seed order.  Seeds come from
+    :func:`~repro.experiments.runner.derive_seeds`, not ``range()`` —
+    pass the same ``base_seed`` to reproduce a batch exactly.
+    """
+    from repro.experiments.runner import ExperimentRunner, repeat_specs
+
+    specs = repeat_specs(
+        policy,
+        base_seed=base_seed,
+        repeats=repeats,
+        mix=mix_name,
+        trace_kind=trace_kind,
+        rate_rps=rate_rps,
+        duration_s=duration_s,
+        nodes=nodes,
+        overrides=tuple(config_overrides.items()),
+    )
+    runner = ExperimentRunner(
+        workers=workers, cache_dir=cache_dir, use_cache=use_cache
+    )
+    return runner.run_summaries(specs)
+
+
+def aggregate_summaries(
+    summaries: Sequence[Dict[str, float]],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+) -> Dict[str, MetricStats]:
+    """Per-metric statistics across summary dicts (runner output)."""
+    if not summaries:
+        raise ValueError("no summaries to aggregate")
+    return {
+        metric: MetricStats.of([s[metric] for s in summaries])
+        for metric in metrics
+    }
+
+
 def compare_with_confidence(
     policy_a: str,
     policy_b: str,

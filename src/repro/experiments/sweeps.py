@@ -69,12 +69,68 @@ def sweep_config_field(
     return results
 
 
+def sweep_config_field_parallel(
+    policy: str,
+    field: str,
+    values: Sequence,
+    mix_name: str = "heavy",
+    trace_kind: str = "step-poisson",
+    rate_rps: float = 50.0,
+    duration_s: float = 240.0,
+    nodes: int = 5,
+    seed: int = 5,
+    base_overrides: Optional[Dict] = None,
+    workers: int = 1,
+    cache_dir=None,
+    use_cache: bool = True,
+) -> Dict:
+    """Parallel/cached variant of :func:`sweep_config_field`.
+
+    Returns ``{value: summary_dict}`` (not RunResult objects — the
+    trials may have run in other processes or been replayed from the
+    disk cache).  All points share the trace kind/rate/seed so the
+    curve still isolates the knob under study.
+    """
+    if field not in _CONFIG_FIELDS:
+        raise ValueError(
+            f"{field!r} is not an RMConfig field; known: {sorted(_CONFIG_FIELDS)}"
+        )
+    if not values:
+        raise ValueError("need at least one value to sweep")
+    from repro.experiments.runner import ExperimentRunner, sweep_specs
+
+    specs = sweep_specs(
+        policy,
+        field,
+        values,
+        mix=mix_name,
+        trace_kind=trace_kind,
+        rate_rps=rate_rps,
+        duration_s=duration_s,
+        seed=seed,
+        nodes=nodes,
+        overrides=tuple((base_overrides or {}).items()),
+    )
+    runner = ExperimentRunner(
+        workers=workers, cache_dir=cache_dir, use_cache=use_cache
+    )
+    summaries = runner.run_summaries(specs)
+    return dict(zip(values, summaries))
+
+
 def metric_curve(
     results: Dict, metric: str = "slo_violation_rate"
 ) -> List[tuple]:
-    """Extract ``[(value, metric), ...]`` rows from a sweep result."""
+    """Extract ``[(value, metric), ...]`` rows from a sweep result.
+
+    Accepts both RunResult sweeps (:func:`sweep_config_field`) and
+    summary-dict sweeps (:func:`sweep_config_field_parallel`).
+    """
     rows = []
     for value, result in results.items():
+        if isinstance(result, dict):
+            rows.append((value, result[metric]))
+            continue
         attr = getattr(result, metric)
         rows.append((value, attr() if callable(attr) else attr))
     return rows

@@ -107,16 +107,23 @@ def cdf_plot(
     height: int = 12,
     title: Optional[str] = None,
     up_to_percentile: float = 99.0,
+    assume_sorted: bool = False,
 ) -> str:
-    """CDF staircases for several sample sets (Figure 10a style)."""
+    """CDF staircases for several sample sets (Figure 10a style).
+
+    Callers holding already-sorted samples (e.g. a RunResult's cached
+    ``sorted_latencies_ms``) pass ``assume_sorted=True`` so the plot
+    reuses the sort instead of redoing it per figure.
+    """
+    from repro.metrics.stats import cdf_points
+
     series = {}
     for name, values in samples.items():
-        arr = np.sort(np.asarray(values, dtype=float))
+        n = len(values)
+        arr = cdf_points(values, up_to_percentile, assume_sorted=assume_sorted)
         if arr.size == 0:
             continue
-        cut = max(1, int(np.ceil(arr.size * up_to_percentile / 100.0)))
-        arr = arr[:cut]
-        fractions = (np.arange(arr.size) + 1) / len(values)
+        fractions = (np.arange(arr.size) + 1) / n
         series[name] = (arr, fractions)
     return line_plot(
         series, width=width, height=height, title=title,

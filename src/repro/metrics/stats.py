@@ -1,8 +1,15 @@
-"""Small statistics helpers shared by collectors and benches."""
+"""Small statistics helpers shared by collectors and benches.
+
+Quantile extraction is one-pass: callers that need several percentiles
+of the same sample ask for them together (:func:`quantiles`,
+:func:`summarize_latencies`) or sort once and reuse the sorted array
+(:func:`sorted_quantiles`, :func:`cdf_points` with
+``assume_sorted=True``) instead of re-sorting/re-partitioning per call.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -11,7 +18,8 @@ def percentile(values: Sequence[float], q: float) -> float:
     """q-th percentile (q in [0, 100]) with linear interpolation.
 
     Returns 0.0 for empty input — convenient for zero-job corner cases
-    in reports.
+    in reports.  For several percentiles of one sample use
+    :func:`quantiles` (single pass) instead of repeated calls.
     """
     arr = np.asarray(values, dtype=float)
     if arr.size == 0:
@@ -21,23 +29,86 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(np.percentile(arr, q))
 
 
-def summarize_latencies(latencies_ms: Sequence[float]) -> Dict[str, float]:
-    """Mean / median / tail summary used throughout the evaluation."""
+def quantiles(values: Sequence[float], qs: Sequence[float]) -> np.ndarray:
+    """All *qs* percentiles of *values* in one selection pass.
+
+    Equivalent to ``[percentile(values, q) for q in qs]`` but the data
+    is partitioned once for the whole batch.
+    """
+    qs_arr = np.asarray(qs, dtype=float)
+    if np.any((qs_arr < 0.0) | (qs_arr > 100.0)):
+        raise ValueError("q must be within [0, 100]")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return np.zeros(qs_arr.shape)
+    return np.percentile(arr, qs_arr)
+
+
+def sorted_quantiles(sorted_values: np.ndarray, qs: Sequence[float]) -> np.ndarray:
+    """Percentiles of an already-sorted array, no re-sort/re-partition.
+
+    Linear interpolation identical to ``np.percentile``'s default
+    method; O(len(qs)) once the sort is paid.
+    """
+    arr = np.asarray(sorted_values, dtype=float)
+    qs_arr = np.asarray(qs, dtype=float)
+    if np.any((qs_arr < 0.0) | (qs_arr > 100.0)):
+        raise ValueError("q must be within [0, 100]")
+    if arr.size == 0:
+        return np.zeros(qs_arr.shape)
+    pos = qs_arr / 100.0 * (arr.size - 1)
+    lo = np.floor(pos).astype(np.intp)
+    hi = np.ceil(pos).astype(np.intp)
+    frac = pos - lo
+    # numpy's two-sided lerp, replicated so a presorted lookup is
+    # bit-identical to np.percentile on the same data.
+    a, b = arr[lo], arr[hi]
+    diff = b - a
+    out = np.asarray(a + frac * diff)
+    mask = frac >= 0.5
+    np.subtract(b, (1.0 - frac) * diff, out=out, where=mask)
+    return out
+
+
+def summarize_latencies(
+    latencies_ms: Sequence[float], presorted: bool = False
+) -> Dict[str, float]:
+    """Mean / median / tail summary used throughout the evaluation.
+
+    One pass over the data: the three percentiles come from a single
+    partition (or pure interpolation when ``presorted``).
+    """
     arr = np.asarray(latencies_ms, dtype=float)
     if arr.size == 0:
         return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    if presorted:
+        p50, p95, p99 = sorted_quantiles(arr, (50.0, 95.0, 99.0))
+        top = arr[-1]
+    else:
+        p50, p95, p99 = np.percentile(arr, (50.0, 95.0, 99.0))
+        top = arr.max()
     return {
         "mean": float(arr.mean()),
-        "p50": float(np.percentile(arr, 50)),
-        "p95": float(np.percentile(arr, 95)),
-        "p99": float(np.percentile(arr, 99)),
-        "max": float(arr.max()),
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "max": float(top),
     }
 
 
-def cdf_points(values: Sequence[float], up_to_percentile: float = 100.0) -> np.ndarray:
-    """Sorted values truncated at a percentile (Figure 10a plots to P95)."""
-    arr = np.sort(np.asarray(values, dtype=float))
+def cdf_points(
+    values: Sequence[float],
+    up_to_percentile: float = 100.0,
+    assume_sorted: bool = False,
+) -> np.ndarray:
+    """Sorted values truncated at a percentile (Figure 10a plots to P95).
+
+    Pass ``assume_sorted=True`` to reuse a previously sorted array (the
+    run results cache one) instead of re-sorting per plot.
+    """
+    arr = np.asarray(values, dtype=float)
+    if not assume_sorted:
+        arr = np.sort(arr)
     if arr.size == 0:
         return arr
     cut = int(np.ceil(arr.size * up_to_percentile / 100.0))

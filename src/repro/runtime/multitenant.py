@@ -24,7 +24,7 @@ from repro.metrics.collector import RunResult
 from repro.prediction.base import Predictor
 from repro.runtime.system import ClusterSpec, ServerlessSystem
 from repro.sim.engine import Simulator
-from repro.sim.process import PeriodicProcess
+from repro.sim.process import CoalescedTicker
 from repro.traces.base import ArrivalTrace
 from repro.workloads.mixes import WorkloadMix
 
@@ -98,7 +98,13 @@ class MultiTenantSystem:
         meter = EnergyMeter(
             model=self.power_model, interval_ms=self.monitor_interval_ms
         )
-        monitors: List[PeriodicProcess] = []
+        # All same-cadence periodic work — every tenant's monitor plus
+        # the central energy sampler — shares one coalesced timer: one
+        # heap entry per interval instead of n_tenants + 1.
+        ticker = CoalescedTicker(
+            sim, self.monitor_interval_ms, label="tenant-monitor"
+        )
+        monitors: List = []
         for spec in self.specs:
             system = ServerlessSystem(
                 config=spec.config,
@@ -111,7 +117,7 @@ class MultiTenantSystem:
                 sample_energy=False,  # metered centrally below
             )
             self.systems[spec.name] = system
-            monitors.append(system.attach(sim, spec.trace))
+            monitors.append(system.attach(sim, spec.trace, ticker=ticker))
 
         peak = {"containers": 0}
 
@@ -121,9 +127,7 @@ class MultiTenantSystem:
                 peak["containers"], cluster.total_containers
             )
 
-        central = PeriodicProcess(
-            sim, self.monitor_interval_ms, central_sample, label="energy"
-        )
+        central = ticker.add(central_sample)
         horizon = max(s.trace.duration_ms for s in self.specs) + 1.0
         sim.run(until=horizon)
         drained_until = horizon

@@ -37,7 +37,7 @@ from repro.prediction.base import Predictor
 from repro.prediction.classical import EWMAPredictor, MovingWindowAveragePredictor
 from repro.prediction.windowed import WindowedMaxSampler
 from repro.sim.engine import Simulator
-from repro.sim.process import PeriodicProcess
+from repro.sim.process import CoalescedTicker, PeriodicProcess, TickerSubscription
 from repro.traces.base import ArrivalTrace
 from repro.workflow.job import Job, Task
 from repro.workflow.pool import FunctionPool
@@ -83,6 +83,7 @@ class ServerlessSystem:
         input_scale_sampler: Optional[Callable[[np.random.Generator], float]] = None,
         fault_model=None,
         tracer: Optional[Tracer] = None,
+        fast_path: bool = True,
     ) -> None:
         self.config = config
         self.mix = mix
@@ -93,6 +94,11 @@ class ServerlessSystem:
         #: runtime both record spans through the metrics collector, so
         #: either path emits the identical span schema.
         self.tracer = tracer
+        #: Feed arrivals through one self-rescheduling cursor over the
+        #: sorted trace array (heap stays small) instead of
+        #: pre-scheduling every arrival.  Off only for the perf
+        #: harness's legacy-path comparison.
+        self.fast_path = fast_path
         #: Per-run metrics registry backing every pool/collector counter
         #: (re-created by each ``_build``).
         self.registry = MetricsRegistry()
@@ -328,14 +334,31 @@ class ServerlessSystem:
 
     # -- execution -------------------------------------------------------------------
 
-    def attach(self, sim: Simulator, trace: ArrivalTrace) -> PeriodicProcess:
+    def attach(
+        self,
+        sim: Simulator,
+        trace: ArrivalTrace,
+        ticker: Optional[CoalescedTicker] = None,
+    ):
         """Wire this system into *sim*: build pools, schedule the
         trace's arrivals, pre-warm steady-state capacity and start the
-        monitor.  Returns the monitor process (caller stops it)."""
+        monitor.  Returns the monitor handle (caller stops it).
+
+        When *ticker* is given (and matches this system's monitor
+        interval) the monitor body shares that coalesced timer instead
+        of owning a private :class:`PeriodicProcess` — one heap entry
+        per interval for any number of co-attached systems."""
         self._build(sim)
         self._trace_name = trace.name
-        for t in trace.arrivals_ms:
-            sim.schedule_at(float(t), self._on_arrival, label="arrival")
+        if self.fast_path:
+            # Lazy bulk injection: one cursor event walks the sorted
+            # numpy arrival array; the heap never holds more than one
+            # pending arrival.
+            sim.schedule_stream(trace.arrivals_ms, self._on_arrival,
+                                label="arrival")
+        else:
+            for t in trace.arrivals_ms:
+                sim.schedule_at(float(t), self._on_arrival, label="arrival")
         # Start from steady state: warm capacity for the trace's opening
         # rate already exists (for SBatch, its full static pool).  A cold
         # platform would otherwise hand every policy an identical
@@ -353,6 +376,8 @@ class ServerlessSystem:
         )
         for name, n in sizes.items():
             self.pools[name].prewarm(n)
+        if ticker is not None and ticker.interval == self.config.monitor_interval_ms:
+            return ticker.add(self._tick_monitor)
         return PeriodicProcess(
             sim,
             self.config.monitor_interval_ms,
@@ -402,6 +427,7 @@ def run_policy(
     power_model: Optional[NodePowerModel] = None,
     fault_model=None,
     tracer: Optional[Tracer] = None,
+    fast_path: bool = True,
     **config_overrides,
 ) -> RunResult:
     """Convenience one-call runner used by examples and benches.
@@ -423,5 +449,6 @@ def run_policy(
         drain_ms=drain_ms,
         fault_model=fault_model,
         tracer=tracer,
+        fast_path=fast_path,
     )
     return system.run(trace)

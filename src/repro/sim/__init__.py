@@ -9,6 +9,13 @@ simulator" of the Fifer paper (section 5.2).
 """
 
 from repro.sim.engine import Event, EventQueue, Simulator
-from repro.sim.process import PeriodicProcess
+from repro.sim.process import CoalescedTicker, PeriodicProcess, TickerSubscription
 
-__all__ = ["Event", "EventQueue", "Simulator", "PeriodicProcess"]
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "PeriodicProcess",
+    "CoalescedTicker",
+    "TickerSubscription",
+]

@@ -17,6 +17,7 @@ DESIGN.md for the substitution argument.
 """
 
 from repro.traces.base import ArrivalTrace, RateProfile
+from repro.traces.factory import TRACE_KINDS, make_trace
 from repro.traces.poisson import poisson_trace, step_poisson_trace
 from repro.traces.wiki import wiki_rate_profile, wiki_trace
 from repro.traces.wits import wits_rate_profile, wits_trace
@@ -30,6 +31,8 @@ from repro.traces.loader import (
 __all__ = [
     "ArrivalTrace",
     "RateProfile",
+    "TRACE_KINDS",
+    "make_trace",
     "poisson_trace",
     "step_poisson_trace",
     "wiki_trace",

@@ -1,0 +1,38 @@
+"""Named trace construction shared by the CLI and the experiment runner.
+
+Every entry point that turns ``(kind, rate, duration, seed)`` into an
+:class:`~repro.traces.base.ArrivalTrace` goes through :func:`make_trace`
+so the mapping is defined once: a trial spec hashed by the experiment
+runner and a ``python -m repro run`` invocation with the same arguments
+replay the identical arrival process.
+"""
+
+from __future__ import annotations
+
+from repro.traces.base import ArrivalTrace
+from repro.traces.poisson import poisson_trace, step_poisson_trace
+from repro.traces.wiki import wiki_trace
+from repro.traces.wits import wits_trace
+
+#: Trace kinds accepted by :func:`make_trace` (and the CLI ``--trace``).
+TRACE_KINDS = ("poisson", "step-poisson", "wiki", "wits")
+
+
+def make_trace(
+    kind: str, rate_rps: float, duration_s: float, seed: int
+) -> ArrivalTrace:
+    """Build the named arrival trace at the given average rate.
+
+    The WITS trace's flash-crowd peak follows the paper's ~4x
+    peak-to-average shape.
+    """
+    if kind == "poisson":
+        return poisson_trace(rate_rps, duration_s, seed=seed)
+    if kind == "step-poisson":
+        return step_poisson_trace(rate_rps, duration_s, seed=seed)
+    if kind == "wiki":
+        return wiki_trace(avg_rps=rate_rps, duration_s=duration_s, seed=seed)
+    if kind == "wits":
+        return wits_trace(avg_rps=rate_rps, peak_rps=rate_rps * 4,
+                          duration_s=duration_s, seed=seed)
+    raise ValueError(f"unknown trace {kind!r}; known: {TRACE_KINDS}")

@@ -123,10 +123,9 @@ class Job:
 
     def remaining_work_ms(self, from_stage: int) -> float:
         """Mean execution + overhead still ahead from *from_stage* on."""
-        work = 0.0
-        for idx in range(from_stage, self.app.n_stages):
-            work += self.app.stage_exec_ms(idx) + self.app.transition_overhead_ms
-        return work
+        if from_stage >= self.app.n_stages:
+            return 0.0
+        return self.app.remaining_work_ms(from_stage)
 
 
 @dataclass

@@ -286,14 +286,31 @@ class FunctionPool:
             target.assign(task)
 
     def _select_container(self) -> Optional[Container]:
+        # Hot path: this scan runs for every dispatch attempt, so the
+        # readiness/occupancy checks are inlined (state compare + queue
+        # length) instead of going through the is_ready/free_slots
+        # properties.  Selection key is unchanged: least free slots,
+        # then lowest container id.
         best: Optional[Container] = None
-        best_key: Tuple[int, int] = (0, 0)
+        best_free = 0
+        best_id = 0
         for container in self.containers:
-            if not container.is_ready or container.free_slots <= 0:
+            state = container.state
+            if state is not ContainerState.IDLE and state is not ContainerState.BUSY:
                 continue
-            key = (container.free_slots, container.container_id)
-            if best is None or key < best_key:
-                best, best_key = container, key
+            free = container.batch_size - len(container.local_queue)
+            if container.current_task is not None:
+                free -= 1
+            if free <= 0:
+                continue
+            if (
+                best is None
+                or free < best_free
+                or (free == best_free and container.container_id < best_id)
+            ):
+                best = container
+                best_free = free
+                best_id = container.container_id
         return best
 
     # -- scaling ---------------------------------------------------------------

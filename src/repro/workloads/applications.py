@@ -91,6 +91,27 @@ class Application:
     def stage_exec_ms(self, stage_index: int) -> float:
         return self.stages[stage_index].mean_exec_ms
 
+    def remaining_work_ms(self, from_stage: int) -> float:
+        """Mean execution + overhead from *from_stage* to the end.
+
+        Cached suffix sums: this feeds every LSF queue push (the task's
+        slack key), so it must not loop over the chain per enqueue.
+        """
+        suffix = getattr(self, "_remaining_work_cache", None)
+        if suffix is None:
+            # Each entry is accumulated left-to-right so the cached
+            # value is bit-identical to the historical per-call loop
+            # (slack keys feed orderings; summation order matters).
+            totals = []
+            for start in range(self.n_stages + 1):
+                work = 0.0
+                for idx in range(start, self.n_stages):
+                    work += self.stage_exec_ms(idx) + self.transition_overhead_ms
+                totals.append(work)
+            suffix = tuple(totals)
+            object.__setattr__(self, "_remaining_work_cache", suffix)
+        return suffix[from_stage]
+
     def with_slo(self, slo_ms: float) -> "Application":
         """The same chain under a different SLO (sensitivity studies)."""
         return Application(

@@ -50,9 +50,25 @@ class WorkloadMix:
             np.average([a.slack_ms for a in self.applications], weights=self.weights)
         )
 
+    @property
+    def _weight_cdf(self) -> np.ndarray:
+        """Cached cumulative weights for O(log n) sampling."""
+        cdf = getattr(self, "_cdf_cache", None)
+        if cdf is None:
+            cdf = np.cumsum(np.asarray(self.weights, dtype=float))
+            cdf /= cdf[-1]
+            object.__setattr__(self, "_cdf_cache", cdf)
+        return cdf
+
     def sample_application(self, rng: np.random.Generator) -> Application:
-        """Draw one application according to the mix weights."""
-        idx = rng.choice(len(self.applications), p=np.asarray(self.weights))
+        """Draw one application according to the mix weights.
+
+        Consumes exactly one uniform double — the same stream position
+        ``rng.choice(n, p=weights)`` would use, but without rebuilding
+        the probability CDF on every arrival (this sits on the per-job
+        hot path).
+        """
+        idx = np.searchsorted(self._weight_cdf, rng.random(), side="right")
         return self.applications[int(idx)]
 
     def function_names(self) -> Tuple[str, ...]:
