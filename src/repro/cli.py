@@ -53,12 +53,24 @@ _RESULT_HEADERS = ["policy", "SLO viol", "median(ms)", "P99(ms)",
 
 
 def _run_one(policy: str, mix_name: str, trace_kind: str, rate: float,
-             duration: float, seed: int, nodes: int, tracer=None):
-    config = make_policy_config(policy, idle_timeout_ms=60_000.0)
+             duration: float, seed: int, nodes: int, tracer=None,
+             overrides=None, shed_expired=False, node_fault_schedule=None,
+             diverge_at=None, diverge_factor=25.0):
+    config = make_policy_config(policy, idle_timeout_ms=60_000.0,
+                                **(overrides or {}))
     predictor = None
     if config.proactive_predictor == "lstm":
         train_kind = "poisson" if "poisson" in trace_kind else trace_kind
         predictor = pretrained_predictor(train_kind, mean_rate_rps=rate)
+    if diverge_at is not None and config.proactive_predictor is not None:
+        from repro.prediction.guarded import DivergentPredictor
+        from repro.runtime.system import _UNTRAINED_PREDICTORS
+
+        if predictor is None:
+            predictor = _UNTRAINED_PREDICTORS[
+                config.proactive_predictor.lower()]()
+        predictor = DivergentPredictor(
+            predictor, diverge_after=diverge_at, factor=diverge_factor)
     system = ServerlessSystem(
         config=config,
         mix=get_mix(mix_name),
@@ -66,6 +78,8 @@ def _run_one(policy: str, mix_name: str, trace_kind: str, rate: float,
         predictor=predictor,
         seed=seed,
         tracer=tracer,
+        shed_expired=shed_expired,
+        node_fault_schedule=node_fault_schedule,
     )
     trace = _make_trace(trace_kind, rate, duration, seed)
     return system.run(trace), system
@@ -105,6 +119,57 @@ def _emit_obs(args, tracer, registry, result) -> None:
         print(f"metrics: {args.metrics_out}")
 
 
+def _parse_fault_schedule(spec: Optional[str]):
+    """Parse ``--node-fault-schedule`` or exit with a usage error."""
+    if not spec:
+        return None
+    from repro.cluster.faults import NodeFaultSchedule
+
+    try:
+        return NodeFaultSchedule.parse(spec)
+    except ValueError as exc:
+        raise SystemExit(f"--node-fault-schedule: {exc}")
+
+
+def _guard_overrides(args) -> dict:
+    """RMConfig overrides from the guarded-control-plane flags.
+
+    Only knobs that were actually set are returned, so default runs
+    keep the exact base policy config (and its cache keys)."""
+    overrides = {}
+    if args.mape_threshold is not None:
+        overrides["mape_threshold"] = args.mape_threshold
+        overrides["fallback_hysteresis"] = args.fallback_hysteresis
+    if args.max_surge:
+        overrides["max_surge"] = args.max_surge
+    if args.spawn_retries:
+        overrides["spawn_retry_attempts"] = args.spawn_retries
+    if args.scale_down_cooldown:
+        overrides["scale_down_cooldown_ms"] = args.scale_down_cooldown * 1000.0
+    return overrides
+
+
+def _print_guard_counters(result) -> None:
+    """One line of guarded-control-plane counters when any fired."""
+    fired = (
+        result.predictor_fallbacks or result.fallback_ticks
+        or result.spawn_retries or result.surge_clamped
+        or result.nodes_killed or result.stage_sheds or result.tick_errors
+    )
+    if not fired:
+        return
+    print(f"\nguard events: fallbacks={result.predictor_fallbacks} "
+          f"(ticks={result.fallback_ticks}, "
+          f"recoveries={result.predictor_recoveries})  "
+          f"surge clamped={result.surge_clamped}  "
+          f"spawn retries={result.spawn_retries} "
+          f"(exhausted={result.spawn_retries_exhausted})  "
+          f"nodes killed={result.nodes_killed}/"
+          f"recovered={result.nodes_recovered}  "
+          f"stage sheds={result.stage_sheds}  "
+          f"tick errors={result.tick_errors}")
+
+
 def _runner_from_args(args):
     from repro.experiments.runner import ExperimentRunner
 
@@ -134,6 +199,18 @@ def _run_batch(args) -> int:
               "processes or come from cache)", file=sys.stderr)
     common = dict(mix=args.mix, trace_kind=args.trace, rate_rps=args.rate,
                   duration_s=args.duration, nodes=args.nodes)
+    common.update(_guard_overrides(args))
+    faults = {}
+    if args.diverge_at is not None:
+        faults["diverge_after"] = args.diverge_at
+        faults["diverge_factor"] = args.diverge_factor
+    if args.node_fault_schedule:
+        _parse_fault_schedule(args.node_fault_schedule)  # fail fast
+        faults["node_fault_schedule"] = args.node_fault_schedule
+    if faults:
+        common["faults"] = tuple(sorted(faults.items()))
+    if args.sim_shed_expired:
+        common["shed_expired"] = True
     if args.repeats > 1:
         specs = repeat_specs(args.policy, base_seed=args.seed,
                              repeats=args.repeats, **common)
@@ -179,14 +256,22 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.repeats > 1 or args.workers > 1 or args.cache_dir:
         return _run_batch(args)
     tracer = _make_tracer(args)
-    result, system = _run_one(args.policy, args.mix, args.trace, args.rate,
-                              args.duration, args.seed, args.nodes,
-                              tracer=tracer)
+    result, system = _run_one(
+        args.policy, args.mix, args.trace, args.rate,
+        args.duration, args.seed, args.nodes,
+        tracer=tracer,
+        overrides=_guard_overrides(args),
+        shed_expired=args.sim_shed_expired,
+        node_fault_schedule=_parse_fault_schedule(args.node_fault_schedule),
+        diverge_at=args.diverge_at,
+        diverge_factor=args.diverge_factor,
+    )
     print(format_table(
         _RESULT_HEADERS, [_result_row(args.policy, result)],
         title=f"{args.policy} on {args.mix} mix / {args.trace} trace "
               f"({result.n_jobs} jobs)",
     ))
+    _print_guard_counters(result)
     _emit_obs(args, tracer, system.registry, result)
     return 0
 
@@ -208,7 +293,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Serve a trace live: real asyncio gateway, workers, control loop."""
     from repro.serve import FaultConfig, RetryPolicy, ServeOptions, ServingRuntime
 
-    config = make_policy_config(args.policy, idle_timeout_ms=60_000.0)
+    config = make_policy_config(args.policy, idle_timeout_ms=60_000.0,
+                                **_guard_overrides(args))
     predictor = None
     if config.proactive_predictor == "lstm":
         train_kind = "poisson" if "poisson" in args.trace else args.trace
@@ -239,6 +325,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         retry=retry,
         faults=faults,
         shed_expired=args.shed_expired,
+        node_fault_schedule=_parse_fault_schedule(args.node_fault_schedule),
     )
     tracer = _make_tracer(args)
     runtime = ServingRuntime(
@@ -275,6 +362,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             resilience_rows({args.policy: result}),
             title="resilience counters:",
         ))
+    _print_guard_counters(result)
     _emit_obs(args, tracer, runtime.registry, result)
     if args.json_out:
         from repro.experiments.export import export_json_summary
@@ -500,6 +588,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "by trace id; a trace is kept whole or "
                             "dropped whole)")
 
+    def add_guardrails(p):
+        g = p.add_argument_group("guarded control plane")
+        g.add_argument("--mape-threshold", type=float, default=None,
+                       metavar="FRAC",
+                       help="forecast-health guard: degrade the proactive "
+                            "tier to reactive-only once the sliding-window "
+                            "MAPE exceeds this fraction (e.g. 0.5); off by "
+                            "default")
+        g.add_argument("--fallback-hysteresis", type=int, default=2,
+                       metavar="N",
+                       help="consecutive healthy/unhealthy evaluations "
+                            "required before the guard switches state "
+                            "(suppresses flapping)")
+        g.add_argument("--max-surge", type=int, default=0, metavar="N",
+                       help="scaling guardrail: cap containers spawned per "
+                            "monitor tick across all pools (0 = unlimited)")
+        g.add_argument("--spawn-retries", type=int, default=0, metavar="N",
+                       help="retry spawn shortfalls (cluster full, surge "
+                            "budget) up to N times with jittered backoff "
+                            "instead of silently dropping the decision")
+        g.add_argument("--scale-down-cooldown", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="suppress idle reaping for this long after any "
+                            "governed scale-up (0 = no cooldown)")
+        g.add_argument("--node-fault-schedule", default=None, metavar="SPEC",
+                       help="scripted node kills/recoveries, e.g. "
+                            "'kill@30=0,1;recover@60=0,1' "
+                            "(ACTION@SECONDS=NODE_IDS, ';'-separated)")
+
     def add_parallel(p):
         p.add_argument("--workers", type=int, default=1,
                        help="trial-level worker processes (1 = in-process "
@@ -517,9 +634,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(run_p)
     add_obs(run_p)
     add_parallel(run_p)
+    add_guardrails(run_p)
     run_p.add_argument("--repeats", type=int, default=1,
                        help="repeat across this many seeds derived from "
                             "--seed (SeedSequence.spawn) and aggregate")
+    run_p.add_argument("--sim-shed-expired", action="store_true",
+                       help="slack-aware admission control in the "
+                            "simulator: shed arrivals (and stage hops) "
+                            "whose residual slack is already negative "
+                            "while no capacity is free — the sim twin of "
+                            "serve's --shed-expired")
+    run_p.add_argument("--diverge-at", type=int, default=None,
+                       metavar="TICKS",
+                       help="chaos: corrupt the proactive predictor's "
+                            "forecasts after this many monitor ticks "
+                            "(pair with --mape-threshold to exercise the "
+                            "fallback)")
+    run_p.add_argument("--diverge-factor", type=float, default=25.0,
+                       help="forecast inflation factor once diverged")
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser(
@@ -578,6 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--shed-expired", action="store_true",
                          help="shed arrivals whose slack is already gone "
                               "given the first stage's queueing delay")
+    add_guardrails(serve_p)
     add_obs(serve_p)
     serve_p.set_defaults(func=cmd_serve)
 

@@ -13,12 +13,16 @@ re-provisioned, no deadlock):
   queue-vs-spawn decision.
 * :func:`fail_node` — kill a node: every container on it terminates,
   in-flight and locally-queued tasks return to their global queues.
+* :class:`NodeFaultSchedule` — scripted node kills and recoveries
+  (including correlated multi-node "zone" failures), the deterministic
+  driver behind the robustness study and CLI ``--node-fault-schedule``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -79,10 +83,14 @@ class RegistryDegradation(ColdStartModel):
             bandwidth_mbps=base.bandwidth_mbps,
             jitter_sigma=base.jitter_sigma,
         )
-        if factor < 1.0:
+        if not factor >= 1.0:  # also rejects NaN
             raise ValueError("degradation factor must be >= 1")
-        if end_ms < start_ms:
-            raise ValueError("end_ms must not precede start_ms")
+        if not start_ms >= 0.0:
+            raise ValueError("start_ms must be >= 0")
+        if not end_ms > start_ms:
+            raise ValueError(
+                "degradation window must be non-empty (end_ms > start_ms)"
+            )
         self.start_ms = start_ms
         self.end_ms = end_ms
         self.factor = factor
@@ -139,3 +147,130 @@ def fail_node(node: "Node", pools: List["FunctionPool"], now_ms: float) -> int:
         pool._compact()
         pool.dispatch()
     return destroyed
+
+
+@dataclass(frozen=True)
+class NodeFaultEvent:
+    """One scripted cluster event: kill or recover a set of nodes.
+
+    A multi-node ``node_ids`` tuple models a correlated "zone" failure
+    (shared rack/switch/power domain): every node in the set dies — or
+    comes back — at the same instant.
+    """
+
+    at_ms: float
+    action: str  # "kill" | "recover"
+    node_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.at_ms) and self.at_ms >= 0.0):
+            raise ValueError("at_ms must be finite and >= 0")
+        if self.action not in ("kill", "recover"):
+            raise ValueError("action must be 'kill' or 'recover'")
+        ids = tuple(int(i) for i in self.node_ids)
+        if not ids:
+            raise ValueError("an event must name at least one node")
+        if any(i < 0 for i in ids):
+            raise ValueError("node ids must be >= 0")
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate node ids in one event")
+        object.__setattr__(self, "node_ids", ids)
+
+
+class NodeFaultSchedule:
+    """A deterministic, time-ordered script of node kills/recoveries.
+
+    Both execution paths consume the same schedule: the simulator maps
+    each event to a ``schedule_at`` callback, the live runtime replays
+    it on the scaled wall clock.  Every applied event lands in the run
+    registry (``cluster_node_kills_total`` / ``_recoveries_total`` /
+    ``_containers_lost_total``) so sim-vs-live fault parity is checkable
+    from metrics alone.
+    """
+
+    def __init__(self, events: Iterable[NodeFaultEvent]) -> None:
+        self.events: Tuple[NodeFaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.at_ms, e.action, e.node_ids))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @classmethod
+    def parse(cls, spec: str) -> "NodeFaultSchedule":
+        """Build a schedule from a CLI spec string.
+
+        Format: ``;``-separated events, each ``ACTION@SECONDS=IDS`` with
+        comma-separated node ids — e.g. ``kill@30=0,1;recover@60=0,1``
+        kills nodes 0 and 1 (a correlated zone failure) at t=30 s and
+        recovers both at t=60 s.
+        """
+        events = []
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            try:
+                head, ids_part = chunk.split("=", 1)
+                action, at_part = head.split("@", 1)
+                node_ids = tuple(
+                    int(part) for part in ids_part.split(",") if part.strip()
+                )
+                event = NodeFaultEvent(
+                    at_ms=float(at_part) * 1000.0,
+                    action=action.strip().lower(),
+                    node_ids=node_ids,
+                )
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad node-fault spec {chunk!r} (expected "
+                    f"ACTION@SECONDS=ID[,ID...], e.g. kill@30=0,1): {exc}"
+                ) from exc
+            events.append(event)
+        if not events:
+            raise ValueError("node-fault spec contains no events")
+        return cls(events)
+
+    def apply_event(
+        self,
+        event: NodeFaultEvent,
+        cluster,
+        pools: Sequence["FunctionPool"],
+        now_ms: float,
+        registry=None,
+    ) -> int:
+        """Execute one event against *cluster*; returns containers lost.
+
+        Kills mark the node failed (unplaceable) before
+        :func:`fail_node` evicts its containers; recoveries bring the
+        node back empty.  Already-failed (already-live) nodes are
+        skipped, so overlapping schedules stay idempotent.
+        """
+        destroyed = 0
+        for node_id in event.node_ids:
+            if node_id >= len(cluster.nodes):
+                raise ValueError(
+                    f"node {node_id} not in cluster of {len(cluster.nodes)}"
+                )
+            node = cluster.nodes[node_id]
+            if event.action == "kill":
+                if node.failed:
+                    continue
+                node.fail()
+                destroyed += fail_node(node, list(pools), now_ms)
+                if registry is not None:
+                    registry.counter("cluster_node_kills_total").inc()
+            else:
+                if not node.failed:
+                    continue
+                node.recover(now_ms)
+                if registry is not None:
+                    registry.counter("cluster_node_recoveries_total").inc()
+        if registry is not None and destroyed:
+            registry.counter("cluster_node_containers_lost_total").inc(
+                destroyed
+            )
+        return destroyed

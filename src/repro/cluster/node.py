@@ -33,10 +33,21 @@ class Node:
     container_count: int = 0
     #: Simulation time when the node last became empty (for power gating).
     idle_since_ms: float = 0.0
+    #: Killed by a fault schedule: unplaceable until recovered.
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.cores <= 0 or self.memory_mb <= 0:
             raise ValueError("node capacity must be positive")
+
+    def fail(self) -> None:
+        """Mark the node dead; no container places here until recovery."""
+        self.failed = True
+
+    def recover(self, now_ms: float = 0.0) -> None:
+        """Bring a failed node back as empty, placeable capacity."""
+        self.failed = False
+        self.idle_since_ms = now_ms
 
     @property
     def free_cpu(self) -> float:
@@ -56,6 +67,8 @@ class Node:
         return self.container_count == 0
 
     def fits(self, cpu: float, memory_mb: float) -> bool:
+        if self.failed:
+            return False
         eps = 1e-9
         return self.free_cpu + eps >= cpu and self.free_memory_mb + eps >= memory_mb
 

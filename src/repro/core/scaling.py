@@ -22,6 +22,7 @@ import numpy as np
 from typing import Dict, List, Optional
 
 from repro.core.sizing import containers_for_rate
+from repro.obs.registry import MetricsRegistry
 from repro.prediction.base import Predictor
 from repro.prediction.windowed import WindowedMaxSampler
 from repro.workflow.pool import FunctionPool
@@ -39,11 +40,222 @@ class ScalingEvent:
     forecast_rps: float = 0.0
 
 
-class ReactiveScaler:
-    """Per-stage queuing-delay-driven scale-out (Algorithm 1a/b)."""
+@dataclass
+class SpawnDebt:
+    """A spawn decision that could not be fully actuated yet."""
 
-    def __init__(self, pools: Dict[str, FunctionPool]) -> None:
+    pool: FunctionPool
+    count: int
+    attempts_left: int
+    next_retry_ms: float
+
+
+class SpawnGovernor:
+    """Guardrails between scaler decisions and the spawn actuator.
+
+    Three independent protections, each off by default:
+
+    * **Max-surge clamp** — at most ``max_surge`` containers spawned per
+      monitoring tick across all monitored stages, so a diverged
+      forecast (or a backlog spike) cannot flood the cluster in one
+      interval.  Clamped decisions are counted, not retried: the scaler
+      re-evaluates from live queue state next tick.
+    * **Spawn retries** — a decision the cluster could not place (no
+      node capacity) is re-attempted up to ``spawn_retry_attempts``
+      times with jittered exponential backoff instead of being silently
+      dropped; exhausted retries are shed *and counted*.
+    * **Scale-down cooldown** — idle reaping is suppressed for
+      ``scale_down_cooldown_ms`` after any governed scale-up, damping
+      spawn/reap oscillation under bursty load.
+
+    Every action lands in the run registry (``scaling_*`` counters), so
+    sim and live runs expose identical guardrail observability.  The
+    jitter RNG is created lazily and only consumed when a retry is
+    actually scheduled — a governor at defaults draws no randomness and
+    perturbs nothing.
+    """
+
+    def __init__(
+        self,
+        max_surge: int = 0,
+        scale_down_cooldown_ms: float = 0.0,
+        spawn_retry_attempts: int = 0,
+        spawn_retry_backoff_ms: float = 5_000.0,
+        registry: Optional[MetricsRegistry] = None,
+        seed: int = 0,
+    ) -> None:
+        if max_surge < 0:
+            raise ValueError("max_surge must be >= 0")
+        if scale_down_cooldown_ms < 0:
+            raise ValueError("scale_down_cooldown_ms must be >= 0")
+        if spawn_retry_attempts < 0:
+            raise ValueError("spawn_retry_attempts must be >= 0")
+        if spawn_retry_backoff_ms <= 0:
+            raise ValueError("spawn_retry_backoff_ms must be positive")
+        self.max_surge = max_surge
+        self.scale_down_cooldown_ms = scale_down_cooldown_ms
+        self.spawn_retry_attempts = spawn_retry_attempts
+        self.spawn_retry_backoff_ms = spawn_retry_backoff_ms
+        self.registry = registry or MetricsRegistry()
+        self._seed = seed
+        self._rng: Optional[np.random.Generator] = None
+        self._debts: List[SpawnDebt] = []
+        self._tick_spawned = 0
+        self._last_spawn_ms = -math.inf
+        self._c_clamped = self.registry.counter("scaling_surge_clamped_total")
+        self._c_shortfall = self.registry.counter(
+            "scaling_spawn_shortfall_total")
+        self._c_retries = self.registry.counter("scaling_spawn_retries_total")
+        self._c_exhausted = self.registry.counter(
+            "scaling_spawn_retries_exhausted_total")
+        self._c_reaps_deferred = self.registry.counter(
+            "scaling_reaps_deferred_total")
+
+    @classmethod
+    def from_config(cls, config, registry=None, seed: int = 0):
+        """Governor for an :class:`~repro.core.policies.RMConfig`, or
+        ``None`` when every guardrail is at its off-default (the scalers
+        then run the exact ungoverned actuation path)."""
+        if (
+            config.max_surge <= 0
+            and config.scale_down_cooldown_ms <= 0
+            and config.spawn_retry_attempts <= 0
+        ):
+            return None
+        return cls(
+            max_surge=config.max_surge,
+            scale_down_cooldown_ms=config.scale_down_cooldown_ms,
+            spawn_retry_attempts=config.spawn_retry_attempts,
+            spawn_retry_backoff_ms=config.spawn_retry_backoff_ms,
+            registry=registry,
+            seed=seed,
+        )
+
+    # -- counters (registry-backed ints for tests/summaries) ---------------
+
+    @property
+    def surge_clamped(self) -> int:
+        return int(self._c_clamped.value)
+
+    @property
+    def spawn_retries(self) -> int:
+        return int(self._c_retries.value)
+
+    @property
+    def spawn_retries_exhausted(self) -> int:
+        return int(self._c_exhausted.value)
+
+    @property
+    def pending_debt(self) -> int:
+        return sum(d.count for d in self._debts)
+
+    # -- tick protocol ------------------------------------------------------
+
+    def begin_tick(self, now_ms: float) -> int:
+        """Reset the per-tick surge budget and run due spawn retries.
+
+        Called once at the top of every monitoring interval (sim tick or
+        live control-loop pass); returns containers spawned by retries.
+        """
+        self._tick_spawned = 0
+        if not self._debts:
+            return 0
+        due = [d for d in self._debts if d.next_retry_ms <= now_ms]
+        if not due:
+            return 0
+        self._debts = [d for d in self._debts if d.next_retry_ms > now_ms]
+        spawned = 0
+        for debt in due:
+            self._c_retries.inc(debt.count)
+            spawned += self._actuate(
+                debt.pool, debt.count, now_ms, attempts_left=debt.attempts_left
+            )
+        return spawned
+
+    def spawn(self, pool: FunctionPool, count: int, now_ms: float) -> int:
+        """Actuate a scaler decision through the guardrails.
+
+        Returns containers actually placed this call; any placement
+        shortfall becomes retry debt (or is shed and counted when
+        retries are disabled/exhausted).
+        """
+        if count <= 0:
+            return 0
+        return self._actuate(
+            pool, count, now_ms, attempts_left=self.spawn_retry_attempts
+        )
+
+    def allow_reap(self, now_ms: float) -> bool:
+        """Whether idle reaping may run this tick (cooldown gate)."""
+        if self.scale_down_cooldown_ms <= 0:
+            return True
+        if now_ms - self._last_spawn_ms < self.scale_down_cooldown_ms:
+            self._c_reaps_deferred.inc()
+            return False
+        return True
+
+    # -- internals ----------------------------------------------------------
+
+    def _actuate(
+        self, pool: FunctionPool, count: int, now_ms: float, attempts_left: int
+    ) -> int:
+        allowed = count
+        if self.max_surge > 0:
+            budget = self.max_surge - self._tick_spawned
+            allowed = max(0, min(count, budget))
+            clamped = count - allowed
+            if clamped > 0:
+                self._c_clamped.inc(clamped)
+        if allowed <= 0:
+            return 0
+        got = pool.spawn(allowed)
+        self._tick_spawned += got
+        if got:
+            self._last_spawn_ms = now_ms
+            pool.dispatch()
+        shortfall = allowed - got
+        if shortfall > 0:
+            self._c_shortfall.inc(shortfall)
+            if attempts_left > 0:
+                self._schedule_retry(pool, shortfall, attempts_left, now_ms)
+            else:
+                self._c_exhausted.inc(shortfall)
+        return got
+
+    def _schedule_retry(
+        self, pool: FunctionPool, count: int, attempts_left: int, now_ms: float
+    ) -> None:
+        if self._rng is None:
+            self._rng = np.random.default_rng(self._seed)
+        attempt_index = self.spawn_retry_attempts - attempts_left
+        delay = self.spawn_retry_backoff_ms * (2.0 ** attempt_index)
+        delay *= 0.5 + float(self._rng.random())  # jitter in [0.5x, 1.5x)
+        self._debts.append(
+            SpawnDebt(
+                pool=pool,
+                count=count,
+                attempts_left=attempts_left - 1,
+                next_retry_ms=now_ms + delay,
+            )
+        )
+
+
+class ReactiveScaler:
+    """Per-stage queuing-delay-driven scale-out (Algorithm 1a/b).
+
+    With a :class:`SpawnGovernor` attached, spawn decisions are actuated
+    through its guardrails (surge clamp, placement retries); without
+    one, decisions hit the pool actuator directly — the exact
+    pre-guardrail path.
+    """
+
+    def __init__(
+        self,
+        pools: Dict[str, FunctionPool],
+        governor: Optional[SpawnGovernor] = None,
+    ) -> None:
         self.pools = pools
+        self.governor = governor
         self.events: List[ScalingEvent] = []
 
     def tick(self, now_ms: float) -> int:
@@ -60,7 +272,10 @@ class ReactiveScaler:
         estimated = self.estimate_containers(pool)
         if estimated <= 0:
             return 0
-        spawned = pool.spawn(estimated)
+        if self.governor is not None:
+            spawned = self.governor.spawn(pool, estimated, now_ms)
+        else:
+            spawned = pool.spawn(estimated)
         if spawned:
             self.events.append(
                 ScalingEvent(
@@ -136,6 +351,8 @@ class ProactiveScaler:
         stage_shares: Dict[str, float],
         utilization_target: float = 0.8,
         horizon_intervals: int = 6,
+        governor: Optional[SpawnGovernor] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         missing = set(pools) - set(stage_shares)
         if missing:
@@ -148,9 +365,42 @@ class ProactiveScaler:
         self.stage_shares = stage_shares
         self.utilization_target = utilization_target
         self.horizon_intervals = horizon_intervals
+        self.governor = governor
+        self.registry = registry
         self.events: List[ScalingEvent] = []
         self.forecasts: List[float] = []
         self.predictor_failures = 0
+        #: Ticks spent with the forecast-health fallback active (the
+        #: guard suppressed pre-spawning; Fifer ran as RScale).
+        self.fallback_ticks = 0
+        # A persistent (cross-build) GuardedPredictor monitor has
+        # history from earlier runs; mirror only this run's deltas into
+        # the (fresh-per-run) registry.
+        monitor = getattr(self.predictor, "monitor", None)
+        self._monitor_base = (
+            (monitor.fallbacks, monitor.recoveries, monitor.divergences)
+            if monitor is not None
+            else (0, 0, 0)
+        )
+
+    @property
+    def fallback_active(self) -> bool:
+        """True while the forecast-health guard has tripped."""
+        return bool(getattr(self.predictor, "fallback_active", False))
+
+    def _sync_guard_counters(self) -> None:
+        monitor = getattr(self.predictor, "monitor", None)
+        if monitor is None or self.registry is None:
+            return
+        base_f, base_r, base_d = self._monitor_base
+        self.registry.counter("predictor_fallbacks_total").set_value(
+            float(monitor.fallbacks - base_f))
+        self.registry.counter("predictor_recoveries_total").set_value(
+            float(monitor.recoveries - base_r))
+        self.registry.counter("predictor_divergences_total").set_value(
+            float(monitor.divergences - base_d))
+        self.registry.counter("scaling_fallback_ticks_total").set_value(
+            float(self.fallback_ticks))
 
     def tick(self, now_ms: float) -> int:
         """Forecast and pre-spawn; returns containers spawned.
@@ -175,6 +425,14 @@ class ProactiveScaler:
             self.predictor_failures += 1
             forecast_rps = float(history[-1]) if history.size else 0.0
         self.forecasts.append(forecast_rps)
+        if self.fallback_active:
+            # Forecast health tripped: suspend pre-spawning entirely —
+            # Fifer degrades to RScale (the reactive scaler keeps
+            # running) until the guard re-arms.  The shadow forecast
+            # above still feeds the monitor so recovery is detectable.
+            self.fallback_ticks += 1
+            self._sync_guard_counters()
+            return 0
         total = 0
         for name, pool in self.pools.items():
             stage_rate = forecast_rps * self.stage_shares[name]
@@ -183,7 +441,15 @@ class ProactiveScaler:
                 pool.service.mean_exec_ms,
                 utilization_target=self.utilization_target,
             )
-            spawned = pool.scale_up_to(n_target)
+            if self.governor is not None:
+                deficit = n_target - pool.n_containers
+                spawned = (
+                    self.governor.spawn(pool, deficit, now_ms)
+                    if deficit > 0
+                    else 0
+                )
+            else:
+                spawned = pool.scale_up_to(n_target)
             if spawned:
                 self.events.append(
                     ScalingEvent(
@@ -196,6 +462,7 @@ class ProactiveScaler:
                 )
                 pool.dispatch()
             total += spawned
+        self._sync_guard_counters()
         return total
 
 

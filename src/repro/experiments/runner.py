@@ -42,7 +42,7 @@ from repro.traces.factory import make_trace
 
 #: Bump when the summary format or run semantics change incompatibly;
 #: invalidates every existing cache entry.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 PathLike = Union[str, pathlib.Path]
 Overrides = Tuple[Tuple[str, Union[float, int, str, bool]], ...]
@@ -54,7 +54,19 @@ class TrialSpec:
 
     ``overrides`` are extra ``RMConfig`` keyword arguments as a sorted
     tuple of pairs (tuples keep the dataclass hashable; sorting keeps
-    the hash independent of construction order).
+    the hash independent of construction order).  Guardrail knobs
+    (``mape_threshold``, ``max_surge``, ...) are RMConfig fields and
+    therefore ride ``overrides``; ``faults`` carries everything that is
+    *not* policy config — container-crash model, node-fault schedule,
+    predictor-divergence injection — as its own sorted pair tuple.
+    Both tuples are part of the cache key: two trials differing only in
+    ``crash_probability`` or MAPE threshold can never share an entry.
+
+    Recognised ``faults`` keys: ``crash_probability``, ``crash_point``,
+    ``node_fault_schedule`` (a spec string for
+    :meth:`~repro.cluster.faults.NodeFaultSchedule.parse`),
+    ``diverge_after`` (monitor ticks), ``diverge_factor``,
+    ``diverge_mode`` (``"scale"`` | ``"nan"``).
     """
 
     policy: str
@@ -65,10 +77,15 @@ class TrialSpec:
     seed: int = 5
     nodes: int = 5
     overrides: Overrides = ()
+    faults: Overrides = ()
+    shed_expired: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "overrides", tuple(sorted(dict(self.overrides).items()))
+        )
+        object.__setattr__(
+            self, "faults", tuple(sorted(dict(self.faults).items()))
         )
 
     @staticmethod
@@ -95,6 +112,8 @@ class TrialSpec:
             "seed": self.seed,
             "nodes": self.nodes,
             "overrides": [[k, v] for k, v in self.overrides],
+            "faults": [[k, v] for k, v in self.faults],
+            "shed_expired": self.shed_expired,
         }
 
 
@@ -128,6 +147,7 @@ def _run_trial_result(spec: TrialSpec) -> RunResult:
     overrides = dict(spec.overrides)
     overrides.setdefault("idle_timeout_ms", 60_000.0)
     config = make_policy_config(spec.policy, **overrides)
+    faults = dict(spec.faults)
     predictor = None
     if config.proactive_predictor == "lstm":
         from repro.experiments.predictors import pretrained_predictor
@@ -136,12 +156,41 @@ def _run_trial_result(spec: TrialSpec) -> RunResult:
             "poisson" if "poisson" in spec.trace_kind else spec.trace_kind
         )
         predictor = pretrained_predictor(train_kind, mean_rate_rps=spec.rate_rps)
+    if "diverge_after" in faults and config.proactive_predictor is not None:
+        from repro.prediction.guarded import DivergentPredictor
+        from repro.runtime.system import _UNTRAINED_PREDICTORS
+
+        if predictor is None:
+            factory = _UNTRAINED_PREDICTORS[config.proactive_predictor.lower()]
+            predictor = factory()
+        predictor = DivergentPredictor(
+            predictor,
+            diverge_after=int(faults["diverge_after"]),
+            factor=float(faults.get("diverge_factor", 25.0)),
+            mode=str(faults.get("diverge_mode", "scale")),
+        )
+    fault_model = None
+    if float(faults.get("crash_probability", 0.0)) > 0.0:
+        from repro.cluster.faults import ContainerFaultModel
+
+        fault_model = ContainerFaultModel(
+            crash_probability=float(faults["crash_probability"]),
+            crash_point=float(faults.get("crash_point", 0.5)),
+        )
+    schedule = None
+    if faults.get("node_fault_schedule"):
+        from repro.cluster.faults import NodeFaultSchedule
+
+        schedule = NodeFaultSchedule.parse(str(faults["node_fault_schedule"]))
     system = ServerlessSystem(
         config=config,
         mix=_get_mix(spec.mix),
         cluster_spec=ClusterSpec(n_nodes=spec.nodes),
         predictor=predictor,
         seed=spec.seed,
+        fault_model=fault_model,
+        shed_expired=spec.shed_expired,
+        node_fault_schedule=schedule,
     )
     trace = make_trace(spec.trace_kind, spec.rate_rps, spec.duration_s,
                        spec.seed)

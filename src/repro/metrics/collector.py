@@ -74,6 +74,26 @@ class RunResult:
     degraded_spawns: int = 0
     #: Arrivals shed at the gateway (backpressure + deadline shedding).
     shed_jobs: int = 0
+    # Guarded-control-plane counters (read back from the run registry;
+    # all zero unless the guard/guardrails/fault schedule were active).
+    #: Fifer→RScale degradations tripped by the forecast-health guard.
+    predictor_fallbacks: int = 0
+    #: Guard re-arms after the forecast healed.
+    predictor_recoveries: int = 0
+    #: Monitor ticks spent with proactive pre-spawning suspended.
+    fallback_ticks: int = 0
+    #: Spawn decisions re-attempted by the governor after placement
+    #: failure.
+    spawn_retries: int = 0
+    #: Spawn shortfall shed after the retry budget ran out.
+    spawn_retries_exhausted: int = 0
+    #: Containers cut from scaler decisions by the max-surge clamp.
+    surge_clamped: int = 0
+    #: Nodes killed (and recovered) by the fault schedule.
+    nodes_killed: int = 0
+    nodes_recovered: int = 0
+    #: Already-dead tasks dropped at overloaded downstream stages.
+    stage_sheds: int = 0
     # Lazily filled caches (sort once, reuse for every quantile /
     # summary / CDF request against this result).
     _sorted_latencies: Optional[np.ndarray] = field(
@@ -188,6 +208,15 @@ class RunResult:
             "tick_errors": float(self.tick_errors),
             "degraded_spawns": float(self.degraded_spawns),
             "shed_jobs": float(self.shed_jobs),
+            "predictor_fallbacks": float(self.predictor_fallbacks),
+            "predictor_recoveries": float(self.predictor_recoveries),
+            "fallback_ticks": float(self.fallback_ticks),
+            "spawn_retries": float(self.spawn_retries),
+            "spawn_retries_exhausted": float(self.spawn_retries_exhausted),
+            "surge_clamped": float(self.surge_clamped),
+            "nodes_killed": float(self.nodes_killed),
+            "nodes_recovered": float(self.nodes_recovered),
+            "stage_sheds": float(self.stage_sheds),
         }
 
 
@@ -321,4 +350,23 @@ class MetricsCollector:
             tick_errors=tick_errors,
             degraded_spawns=degraded_spawns,
             shed_jobs=shed_jobs,
+            # Guarded-control-plane events: the registry is the single
+            # source of truth for both worlds, so these reconcile with
+            # whatever the guard/governor/fault schedule recorded.
+            predictor_fallbacks=int(
+                self.registry.total("predictor_fallbacks_total")),
+            predictor_recoveries=int(
+                self.registry.total("predictor_recoveries_total")),
+            fallback_ticks=int(
+                self.registry.total("scaling_fallback_ticks_total")),
+            spawn_retries=int(
+                self.registry.total("scaling_spawn_retries_total")),
+            spawn_retries_exhausted=int(
+                self.registry.total("scaling_spawn_retries_exhausted_total")),
+            surge_clamped=int(
+                self.registry.total("scaling_surge_clamped_total")),
+            nodes_killed=int(self.registry.total("cluster_node_kills_total")),
+            nodes_recovered=int(
+                self.registry.total("cluster_node_recoveries_total")),
+            stage_sheds=int(self.registry.total("pool_tasks_shed_total")),
         )

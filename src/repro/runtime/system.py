@@ -22,8 +22,15 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.cluster.coldstart import ColdStartModel
 from repro.cluster.energy import EnergyMeter, NodePowerModel
+from repro.cluster.faults import NodeFaultSchedule
 from repro.core.policies import RMConfig
-from repro.core.scaling import HPAScaler, ProactiveScaler, ReactiveScaler, static_pool_sizes
+from repro.core.scaling import (
+    HPAScaler,
+    ProactiveScaler,
+    ReactiveScaler,
+    SpawnGovernor,
+    static_pool_sizes,
+)
 from repro.core.slack import (
     build_stage_plan,
     function_batch_sizes,
@@ -35,6 +42,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.prediction.base import Predictor
 from repro.prediction.classical import EWMAPredictor, MovingWindowAveragePredictor
+from repro.prediction.guarded import GuardedPredictor
 from repro.prediction.windowed import WindowedMaxSampler
 from repro.sim.engine import Simulator
 from repro.sim.process import CoalescedTicker, PeriodicProcess, TickerSubscription
@@ -84,6 +92,8 @@ class ServerlessSystem:
         fault_model=None,
         tracer: Optional[Tracer] = None,
         fast_path: bool = True,
+        shed_expired: bool = False,
+        node_fault_schedule: Optional[NodeFaultSchedule] = None,
     ) -> None:
         self.config = config
         self.mix = mix
@@ -113,6 +123,16 @@ class ServerlessSystem:
         #: FaultConfig, which is what makes sim-vs-live chaos parity
         #: meaningful.
         self.fault_model = fault_model
+        #: Slack-aware admission control, mirroring serve's
+        #: ``--shed-expired``: arrivals whose slack is already gone (and
+        #: overloaded downstream stages' already-dead tasks) are shed
+        #: instead of queued.  Shed requests still count as created.
+        self.shed_expired = shed_expired
+        #: Scripted node kills/recoveries replayed during the run.
+        self.node_fault_schedule = node_fault_schedule
+        #: Contained control-plane tick failures (parity with serve's
+        #: ``ControlLoop.tick_errors``).
+        self.tick_errors = 0
         self.cold_start_model = cold_start_model or ColdStartModel()
         self.power_model = power_model or NodePowerModel()
         self.predictor = self._resolve_predictor(predictor)
@@ -144,15 +164,27 @@ class ServerlessSystem:
         wanted = self.config.proactive_predictor
         if wanted is None:
             return None
-        if predictor is not None:
-            return predictor
-        factory = _UNTRAINED_PREDICTORS.get(wanted.lower())
-        if factory is None:
-            raise ValueError(
-                f"policy {self.config.name!r} needs a pre-trained "
-                f"{wanted!r} predictor; pass predictor= explicitly"
+        if predictor is None:
+            factory = _UNTRAINED_PREDICTORS.get(wanted.lower())
+            if factory is None:
+                raise ValueError(
+                    f"policy {self.config.name!r} needs a pre-trained "
+                    f"{wanted!r} predictor; pass predictor= explicitly"
+                )
+            predictor = factory()
+        if self.config.mape_threshold is not None and not isinstance(
+            predictor, GuardedPredictor
+        ):
+            # Forecast-health guard: past the configured window-MAPE (or
+            # on NaN/divergence) the proactive scaler suspends
+            # pre-spawning — Fifer degrades to RScale with hysteresis.
+            predictor = GuardedPredictor(
+                predictor,
+                mape_threshold=self.config.mape_threshold,
+                window=self.config.mape_window,
+                hysteresis=self.config.fallback_hysteresis,
             )
-        return factory()
+        return predictor
 
     def _stage_shares(self) -> Dict[str, float]:
         """Fraction of arriving jobs whose chain includes each function."""
@@ -167,6 +199,7 @@ class ServerlessSystem:
     def _build(self, sim: Simulator) -> None:
         self.sim = sim
         self.registry = MetricsRegistry()
+        self.tick_errors = 0
         if self.shared_cluster is not None:
             # Multi-tenant deployment: tenants share one physical
             # cluster (pools stay isolated per the paper's footnote 4).
@@ -221,8 +254,15 @@ class ServerlessSystem:
             )
         for pool in self.pools.values():
             pool.reclaim_callback = self._reclaim_idle_capacity
+        # None when every guardrail is at its off-default — the scalers
+        # then actuate through the exact pre-guardrail path.
+        self.governor = SpawnGovernor.from_config(
+            self.config, registry=self.registry, seed=self.seed + 2
+        )
         self.reactive = (
-            ReactiveScaler(self.pools) if self.config.reactive else None
+            ReactiveScaler(self.pools, governor=self.governor)
+            if self.config.reactive
+            else None
         )
         self.hpa = (
             HPAScaler(
@@ -239,6 +279,8 @@ class ServerlessSystem:
                 sampler=self.sampler,
                 stage_shares=self.stage_shares,
                 utilization_target=self.config.utilization_target,
+                governor=self.governor,
+                registry=self.registry,
             )
             if self.predictor is not None
             else None
@@ -262,9 +304,17 @@ class ServerlessSystem:
             if self.input_scale_sampler is not None
             else 1.0
         )
-        job = Job(app=app, arrival_ms=now, input_scale=scale)
+        # Every arrival — shed or not — feeds the sampler and the job
+        # counter, exactly like the live gateway: the predictor must see
+        # offered load, and a shed request is an SLO violation, not a
+        # no-op.
         self.metrics.record_job_created()
         self.sampler.record(now)
+        if self.shed_expired and self._deadline_expired(app):
+            self.registry.counter("gateway_shed_total").inc()
+            self.registry.counter("gateway_shed_deadline_total").inc()
+            return
+        job = Job(app=app, arrival_ms=now, input_scale=scale)
         self.store.insert(
             "jobs", job.job_id, {"app": app.name, "creationTime": now}
         )
@@ -275,9 +325,40 @@ class ServerlessSystem:
             label="ingress",
         )
 
+    def _deadline_expired(self, app) -> bool:
+        """Deadline-aware admission (mirrors ``Gateway._deadline_expired``):
+        shed only when the first stage's monitored queueing delay alone
+        exceeds the chain's slack *and* no dispatchable capacity is free
+        — a free slot means the observed backlog is already draining."""
+        first_pool = self.pools.get(app.stage_names[0])
+        if first_pool is None:
+            return False
+        if getattr(first_pool, "free_slots", 0) > 0:
+            return False
+        return first_pool.monitored_delay_ms() > app.slack_ms
+
     def _enqueue_stage(self, job: Job, stage_index: int) -> None:
         task = Task(job=job, stage_index=stage_index, enqueue_ms=self.sim.now)
-        self.pools[task.function].enqueue(task)
+        pool = self.pools[task.function]
+        if (
+            self.shed_expired
+            and stage_index > 0
+            and task.available_slack_ms(self.sim.now) < 0
+            and getattr(pool, "free_slots", 0) == 0
+        ):
+            # The task is already dead (negative residual slack) and the
+            # stage is saturated: drop it instead of queueing a request
+            # that can only burn capacity.  The job fails terminally so
+            # the drain barrier still converges.
+            pool.record_shed()
+            job.failed_ms = self.sim.now
+            job.failure_reason = "shed-expired"
+            self.metrics.record_job_failed(job)
+            self.store.update(
+                "jobs", job.job_id, {"failedTime": self.sim.now}
+            )
+            return
+        pool.enqueue(task)
 
     def _on_task_finished(self, task: Task) -> None:
         job = task.job
@@ -317,19 +398,43 @@ class ServerlessSystem:
 
     # -- periodic machinery --------------------------------------------------------
 
+    def _guarded_step(self, step: str, fn, *args) -> None:
+        """Run one monitor-tick step; contain and count any exception.
+
+        Parity with the live ``ControlLoop._guarded``: a scaler raising
+        must degrade that one step for that one tick, never kill the
+        whole run's control plane.
+        """
+        try:
+            fn(*args)
+        except Exception:
+            self.tick_errors += 1
+            self.registry.counter("scaling_tick_errors_total").inc()
+
+    def _reap_idle(self, now_ms: float) -> None:
+        if self.governor is not None and not self.governor.allow_reap(now_ms):
+            return
+        for pool in self.pools.values():
+            pool.reap_idle(self.config.idle_timeout_ms)
+
     def _tick_monitor(self, now_ms: float) -> None:
+        if self.governor is not None:
+            self._guarded_step("governor", self.governor.begin_tick, now_ms)
         if self.reactive is not None:
-            self.reactive.tick(now_ms)
+            self._guarded_step("reactive", self.reactive.tick, now_ms)
         if self.hpa is not None:
-            self.hpa.tick(now_ms)
+            self._guarded_step("hpa", self.hpa.tick, now_ms)
         if self.proactive is not None:
-            self.proactive.tick(now_ms)
+            self._guarded_step("proactive", self.proactive.tick, now_ms)
         if not self.config.static_pool:
-            for pool in self.pools.values():
-                pool.reap_idle(self.config.idle_timeout_ms)
-        self.metrics.sample(
-            self.pools, self.cluster.nodes, now_ms,
-            sample_energy=self.sample_energy,
+            self._guarded_step("reap", self._reap_idle, now_ms)
+        self._guarded_step(
+            "sample",
+            self.metrics.sample,
+            self.pools,
+            self.cluster.nodes,
+            now_ms,
+            self.sample_energy,
         )
 
     # -- execution -------------------------------------------------------------------
@@ -376,6 +481,19 @@ class ServerlessSystem:
         )
         for name, n in sizes.items():
             self.pools[name].prewarm(n)
+        if self.node_fault_schedule:
+            for event in self.node_fault_schedule.events:
+                sim.schedule_at(
+                    event.at_ms,
+                    lambda ev=event: self.node_fault_schedule.apply_event(
+                        ev,
+                        self.cluster,
+                        list(self.pools.values()),
+                        self.sim.now,
+                        self.registry,
+                    ),
+                    label="node-fault",
+                )
         if ticker is not None and ticker.interval == self.config.monitor_interval_ms:
             return ticker.add(self._tick_monitor)
         return PeriodicProcess(
@@ -387,7 +505,15 @@ class ServerlessSystem:
 
     @property
     def all_jobs_done(self) -> bool:
-        return self.metrics.jobs_created <= len(self.metrics.completed_jobs)
+        # Shed and terminally-failed jobs never complete; counting them
+        # here keeps the drain loop from spinning to its bound waiting
+        # for requests the system deliberately dropped.
+        settled = (
+            len(self.metrics.completed_jobs)
+            + len(self.metrics.failed_jobs)
+            + int(self.registry.value("gateway_shed_total"))
+        )
+        return self.metrics.jobs_created <= settled
 
     def finalize(self) -> RunResult:
         """Collect this system's RunResult after the simulation ended."""
@@ -398,6 +524,9 @@ class ServerlessSystem:
             trace=getattr(self, "_trace_name", "trace"),
             duration_ms=self.sim.now,
             pools=self.pools,
+            tick_errors=self.tick_errors,
+            degraded_spawns=getattr(self.cold_start_model, "degraded_spawns", 0),
+            shed_jobs=int(self.registry.value("gateway_shed_total")),
         )
 
     def run(self, trace: ArrivalTrace) -> RunResult:
@@ -428,6 +557,8 @@ def run_policy(
     fault_model=None,
     tracer: Optional[Tracer] = None,
     fast_path: bool = True,
+    shed_expired: bool = False,
+    node_fault_schedule: Optional[NodeFaultSchedule] = None,
     **config_overrides,
 ) -> RunResult:
     """Convenience one-call runner used by examples and benches.
@@ -450,5 +581,7 @@ def run_policy(
         fault_model=fault_model,
         tracer=tracer,
         fast_path=fast_path,
+        shed_expired=shed_expired,
+        node_fault_schedule=node_fault_schedule,
     )
     return system.run(trace)

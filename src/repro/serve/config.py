@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.cluster.faults import NodeFaultSchedule
 from repro.serve.retry import RetryPolicy
 
 
@@ -110,6 +111,10 @@ class ServeOptions:
             timeout, absorbing executor queueing and event-loop jitter
             that compressed clocks would otherwise amplify into false
             hang verdicts.
+        node_fault_schedule: scripted node kills/recoveries
+            (:class:`~repro.cluster.faults.NodeFaultSchedule`) replayed
+            on the scaled clock — the same schedule object the
+            simulator consumes, so fault parity is exact.
     """
 
     time_scale: float = 1.0
@@ -121,6 +126,7 @@ class ServeOptions:
     shed_expired: bool = False
     task_timeout: bool = True
     timeout_floor_wall_s: float = 1.0
+    node_fault_schedule: Optional[NodeFaultSchedule] = None
 
     def __post_init__(self) -> None:
         if self.time_scale <= 0:

@@ -25,7 +25,12 @@ from typing import Dict, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.core.policies import RMConfig
-from repro.core.scaling import HPAScaler, ProactiveScaler, ReactiveScaler
+from repro.core.scaling import (
+    HPAScaler,
+    ProactiveScaler,
+    ReactiveScaler,
+    SpawnGovernor,
+)
 from repro.metrics.collector import MetricsCollector
 from repro.serve.clock import ScaledClock
 from repro.serve.pool import WorkerPool
@@ -46,6 +51,7 @@ class ControlLoop:
         reactive: Optional[ReactiveScaler] = None,
         hpa: Optional[HPAScaler] = None,
         proactive: Optional[ProactiveScaler] = None,
+        governor: Optional[SpawnGovernor] = None,
     ) -> None:
         self.clock = clock
         self.pools = pools
@@ -55,6 +61,7 @@ class ControlLoop:
         self.reactive = reactive
         self.hpa = hpa
         self.proactive = proactive
+        self.governor = governor
         self.ticks = 0
         #: Tick steps that raised (and were contained) — nonzero means
         #: a control-plane component is broken; surfaced in summaries.
@@ -83,14 +90,21 @@ class ControlLoop:
                 self.supervised_respawns += supervise(now_ms)
 
     def _reap(self, now_ms: float) -> None:
-        if not self.config.static_pool:
-            for pool in self.pools.values():
-                pool.reap_idle(self.config.idle_timeout_ms)
+        if self.config.static_pool:
+            return
+        if self.governor is not None and not self.governor.allow_reap(now_ms):
+            # Scale-down cooldown: a recent governed scale-up means the
+            # system is still absorbing load — reaping now would churn.
+            return
+        for pool in self.pools.values():
+            pool.reap_idle(self.config.idle_timeout_ms)
 
     def tick(self, now_ms: float) -> None:
         """One monitoring interval (same order as the simulator, with
         supervision first so scalers see post-failure capacity)."""
         self._guarded("supervise", self._supervise, now_ms)
+        if self.governor is not None:
+            self._guarded("governor", self.governor.begin_tick, now_ms)
         if self.reactive is not None:
             self._guarded("reactive", self.reactive.tick, now_ms)
         if self.hpa is not None:

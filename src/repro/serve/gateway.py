@@ -147,10 +147,14 @@ class Gateway:
         If the first stage's monitored queueing delay alone exceeds the
         chain's total slack, the job's residual slack would be negative
         before it even reached a worker — admitting it cannot meet the
-        SLO and only burns capacity other jobs could use.
+        SLO and only burns capacity other jobs could use.  A stage with
+        a free dispatchable slot is never shed against: the monitored
+        backlog is already draining, so the delay signal is stale.
         """
         first_pool = self.pools.get(app.stage_names[0])
         if first_pool is None:
+            return False
+        if getattr(first_pool, "free_slots", 0) > 0:
             return False
         return first_pool.monitored_delay_ms() > app.slack_ms
 
@@ -164,7 +168,34 @@ class Gateway:
 
     def _enqueue_stage(self, job: Job, stage_index: int) -> None:
         task = Task(job=job, stage_index=stage_index, enqueue_ms=self.clock.now)
-        self.pools[task.function].enqueue(task)
+        pool = self.pools[task.function]
+        if (
+            self.shed_expired
+            and stage_index > 0
+            and task.available_slack_ms(self.clock.now) < 0
+            and getattr(pool, "free_slots", 0) == 0
+        ):
+            self._shed_stage_task(task)
+            return
+        pool.enqueue(task)
+
+    def _shed_stage_task(self, task: Task) -> None:
+        """Drop an already-dead task at an overloaded downstream stage.
+
+        The task's residual slack is negative and the stage has no free
+        capacity: queueing it cannot meet the SLO and only delays live
+        requests.  The job fails terminally (mirroring the simulator's
+        stage-level shed) so ``in_flight`` still converges to zero.
+        """
+        job = task.job
+        if job.terminal:
+            self._c_duplicates.inc()
+            return
+        self.pools[task.function].record_shed()
+        job.failed_ms = self.clock.now
+        job.failure_reason = "shed-expired"
+        self.metrics.record_job_failed(job)
+        self._settle()
 
     def on_task_finished(self, task: Task) -> None:
         """Pool callback: advance the chain or complete the job.

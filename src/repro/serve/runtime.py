@@ -28,6 +28,7 @@ from repro.core.scaling import (
     HPAScaler,
     ProactiveScaler,
     ReactiveScaler,
+    SpawnGovernor,
     static_pool_sizes,
 )
 from repro.metrics.collector import MetricsCollector, RunResult
@@ -193,7 +194,16 @@ class ServingRuntime:
             )
         for pool in self.pools.values():
             pool.reclaim_callback = self._reclaim_idle_capacity
-        reactive = ReactiveScaler(self.pools) if config.reactive else None
+        # Same guardrail semantics as the simulator: None when every
+        # knob is at its off-default.
+        governor = SpawnGovernor.from_config(
+            config, registry=self.registry, seed=self.seed + 3
+        )
+        reactive = (
+            ReactiveScaler(self.pools, governor=governor)
+            if config.reactive
+            else None
+        )
         hpa = (
             HPAScaler(self.pools, target_concurrency=config.hpa_target_concurrency)
             if config.hpa
@@ -206,6 +216,8 @@ class ServingRuntime:
                 sampler=self.sampler,
                 stage_shares=self.stage_shares,
                 utilization_target=config.utilization_target,
+                governor=governor,
+                registry=self.registry,
             )
             if self.predictor is not None
             else None
@@ -219,6 +231,7 @@ class ServingRuntime:
             reactive=reactive,
             hpa=hpa,
             proactive=proactive,
+            governor=governor,
         )
 
     def _reclaim_idle_capacity(self) -> bool:
@@ -266,6 +279,7 @@ class ServingRuntime:
             self._prewarm(trace)
             self.control.start()
             killer = self._start_worker_killer()
+            fault_replayer = self._start_node_fault_schedule()
             self.replayer = TraceReplayer(
                 trace,
                 self.mix,
@@ -281,6 +295,8 @@ class ServingRuntime:
             await self.control.stop()
             if killer is not None and not killer.done():
                 killer.cancel()
+            if fault_replayer is not None and not fault_replayer.done():
+                fault_replayer.cancel()
             # The simulator's drain always reaches a monitor tick
             # (virtual time jumps to it); a short live run can finish
             # before the first one.  One closing tick keeps the
@@ -317,6 +333,27 @@ class ServingRuntime:
             )
 
         return asyncio.get_running_loop().create_task(_kill(), name="chaos-kill")
+
+    def _start_node_fault_schedule(self) -> Optional[asyncio.Task]:
+        """Replay the scripted node kills/recoveries on the scaled clock."""
+        schedule = self.options.node_fault_schedule
+        if not schedule:
+            return None
+
+        async def _replay() -> None:
+            for event in schedule.events:
+                await self.clock.sleep_until_ms(event.at_ms)
+                schedule.apply_event(
+                    event,
+                    self.cluster,
+                    list(self.pools.values()),
+                    self.clock.now,
+                    self.registry,
+                )
+
+        return asyncio.get_running_loop().create_task(
+            _replay(), name="node-faults"
+        )
 
     def _executor_workers(self) -> int:
         if self.options.executor_workers:

@@ -73,6 +73,8 @@ class FunctionPool:
             "pool_failed_spawns_total", **label)
         self._c_enqueued = self.registry.counter(
             "pool_tasks_enqueued_total", **label)
+        self._c_shed = self.registry.counter(
+            "pool_tasks_shed_total", **label)
         self._c_completed = self.registry.counter(
             "pool_tasks_completed_total", **label)
         self._g_containers = self.registry.gauge(
@@ -168,6 +170,18 @@ class FunctionPool:
     @total_spawns.setter
     def total_spawns(self, value: int) -> None:
         self._c_spawns.set_value(float(value))
+
+    @property
+    def tasks_shed(self) -> int:
+        """Tasks dropped at this stage by slack-aware admission control
+        (residual slack already negative with no free capacity)."""
+        return int(self._c_shed.value)
+
+    def record_shed(self) -> None:
+        """Count one stage-level shed against this pool's counter —
+        the single place the ``pool_tasks_shed_total`` series is fed,
+        so sim and live shed events land under identical labels."""
+        self._c_shed.inc()
 
     @property
     def failed_spawns(self) -> int:

@@ -1,0 +1,158 @@
+"""Cluster fault schedules: scripted node kills/recoveries in the sim."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.faults import (
+    NodeFaultEvent,
+    NodeFaultSchedule,
+    RegistryDegradation,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.system import run_policy
+from repro.traces import poisson_trace
+from repro.workloads import get_mix
+
+
+class TestNodeFaultEvent:
+    def test_valid_event(self):
+        ev = NodeFaultEvent(at_ms=30_000.0, action="kill", node_ids=(0, 1))
+        assert ev.node_ids == (0, 1)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(at_ms=-1.0, action="kill", node_ids=(0,)),
+        dict(at_ms=float("nan"), action="kill", node_ids=(0,)),
+        dict(at_ms=float("inf"), action="kill", node_ids=(0,)),
+        dict(at_ms=0.0, action="reboot", node_ids=(0,)),
+        dict(at_ms=0.0, action="kill", node_ids=()),
+        dict(at_ms=0.0, action="kill", node_ids=(-1,)),
+        dict(at_ms=0.0, action="kill", node_ids=(0, 0)),
+    ])
+    def test_invalid_events_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NodeFaultEvent(**kwargs)
+
+
+class TestScheduleParse:
+    def test_parse_round_trip(self):
+        sched = NodeFaultSchedule.parse("kill@30=0,1;recover@60=0,1")
+        assert len(sched) == 2
+        kill, recover = sched.events
+        assert kill.action == "kill"
+        assert kill.at_ms == 30_000.0
+        assert kill.node_ids == (0, 1)
+        assert recover.action == "recover"
+        assert recover.at_ms == 60_000.0
+
+    def test_events_sorted_by_time(self):
+        sched = NodeFaultSchedule.parse("recover@60=0;kill@30=0")
+        assert [e.at_ms for e in sched.events] == [30_000.0, 60_000.0]
+
+    def test_correlated_zone_failure_spec(self):
+        sched = NodeFaultSchedule.parse("kill@10=0,1,2")
+        assert sched.events[0].node_ids == (0, 1, 2)
+
+    @pytest.mark.parametrize("spec", [
+        "", ";;", "kill@30", "kill=0", "melt@30=0", "kill@x=0", "kill@30=a",
+        "kill@-5=0", "kill@30=",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            NodeFaultSchedule.parse(spec)
+
+    def test_trailing_separator_tolerated(self):
+        assert len(NodeFaultSchedule.parse("kill@30=0;")) == 1
+
+
+class TestApplyEvent:
+    def _cluster(self, n=2):
+        return Cluster(n_nodes=n, cores_per_node=4)
+
+    def test_kill_marks_node_failed_and_counts(self):
+        cluster = self._cluster()
+        reg = MetricsRegistry()
+        sched = NodeFaultSchedule.parse("kill@1=0")
+        sched.apply_event(sched.events[0], cluster, [], 1_000.0, registry=reg)
+        assert cluster.nodes[0].failed
+        assert not cluster.nodes[0].fits(cpu=0.1, memory_mb=1.0)
+        assert reg.value("cluster_node_kills_total") == 1
+
+    def test_kill_is_idempotent(self):
+        cluster = self._cluster()
+        reg = MetricsRegistry()
+        ev = NodeFaultEvent(at_ms=0.0, action="kill", node_ids=(0,))
+        sched = NodeFaultSchedule(events=(ev,))
+        sched.apply_event(ev, cluster, [], 0.0, registry=reg)
+        sched.apply_event(ev, cluster, [], 0.0, registry=reg)
+        assert reg.value("cluster_node_kills_total") == 1
+
+    def test_recover_restores_placement(self):
+        cluster = self._cluster()
+        reg = MetricsRegistry()
+        kill = NodeFaultEvent(at_ms=0.0, action="kill", node_ids=(0,))
+        recover = NodeFaultEvent(at_ms=5.0, action="recover", node_ids=(0,))
+        sched = NodeFaultSchedule(events=(kill, recover))
+        sched.apply_event(kill, cluster, [], 0.0, registry=reg)
+        sched.apply_event(recover, cluster, [], 5.0, registry=reg)
+        assert not cluster.nodes[0].failed
+        assert cluster.nodes[0].fits(cpu=0.1, memory_mb=1.0)
+        assert reg.value("cluster_node_recoveries_total") == 1
+
+    def test_recover_without_kill_is_a_noop(self):
+        cluster = self._cluster()
+        reg = MetricsRegistry()
+        ev = NodeFaultEvent(at_ms=0.0, action="recover", node_ids=(1,))
+        NodeFaultSchedule(events=(ev,)).apply_event(
+            ev, cluster, [], 0.0, registry=reg)
+        assert reg.value("cluster_node_recoveries_total") == 0
+
+    def test_unknown_node_id_raises(self):
+        cluster = self._cluster(n=2)
+        ev = NodeFaultEvent(at_ms=0.0, action="kill", node_ids=(7,))
+        with pytest.raises(ValueError):
+            NodeFaultSchedule(events=(ev,)).apply_event(ev, cluster, [], 0.0)
+
+
+class TestEndToEndSimulation:
+    def test_node_kill_and_recovery_in_a_run(self):
+        mix = get_mix("medium")
+        trace = poisson_trace(20.0, 60.0, seed=3)
+        sched = NodeFaultSchedule.parse("kill@20=0;recover@40=0")
+        result = run_policy("rscale", mix, trace, seed=3,
+                            node_fault_schedule=sched)
+        assert result.nodes_killed == 1
+        assert result.nodes_recovered == 1
+        # The run completed despite losing a node mid-trace.
+        assert result.n_jobs > 0
+
+    def test_fault_schedule_changes_outcomes(self):
+        from repro.runtime.system import ClusterSpec
+
+        mix = get_mix("medium")
+        trace = poisson_trace(30.0, 60.0, seed=3)
+        spec = ClusterSpec(n_nodes=2)
+        base = run_policy("rscale", mix, trace, seed=3, cluster_spec=spec)
+        faulted = run_policy(
+            "rscale", mix, trace, seed=3, cluster_spec=spec,
+            node_fault_schedule=NodeFaultSchedule.parse("kill@15=0"))
+        assert faulted.nodes_killed == 1
+        assert faulted.summary() != base.summary()
+
+
+class TestRegistryDegradationValidation:
+    def test_valid_window(self):
+        model = RegistryDegradation(start_ms=1_000.0, end_ms=2_000.0,
+                                    factor=3.0)
+        assert model is not None
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(start_ms=-1.0, end_ms=10.0),
+        dict(start_ms=10.0, end_ms=10.0),     # empty window
+        dict(start_ms=20.0, end_ms=10.0),     # inverted window
+        dict(start_ms=0.0, end_ms=10.0, factor=0.5),
+        dict(start_ms=0.0, end_ms=10.0, factor=float("nan")),
+        dict(start_ms=float("nan"), end_ms=10.0),
+    ])
+    def test_invalid_windows_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RegistryDegradation(**kwargs)

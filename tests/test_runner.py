@@ -55,6 +55,37 @@ class TestSpecAndHash:
         spec = TrialSpec.make("rscale", **TINY)
         assert json.loads(json.dumps(spec.canonical())) == spec.canonical()
 
+    def test_hash_includes_fault_and_guardrail_config(self):
+        """Regression: two trials differing only in injected faults or
+        guard knobs must never share a cache entry."""
+        base = TrialSpec.make("rscale", **TINY)
+        variants = [
+            TrialSpec.make("rscale",
+                           faults=(("crash_probability", 0.1),), **TINY),
+            TrialSpec.make("rscale",
+                           faults=(("diverge_after", 3),), **TINY),
+            TrialSpec.make(
+                "rscale",
+                faults=(("node_fault_schedule", "kill@30=0"),), **TINY),
+            TrialSpec.make("rscale", shed_expired=True, **TINY),
+            TrialSpec.make("rscale", mape_threshold=0.5, **TINY),
+            TrialSpec.make("rscale", max_surge=8, **TINY),
+            TrialSpec.make("rscale", spawn_retry_attempts=2, **TINY),
+        ]
+        hashes = {config_hash(s) for s in [base] + variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_fault_order_does_not_change_the_hash(self):
+        a = TrialSpec.make(
+            "rscale",
+            faults=(("diverge_after", 3), ("crash_probability", 0.1)),
+            **TINY)
+        b = TrialSpec.make(
+            "rscale",
+            faults=(("crash_probability", 0.1), ("diverge_after", 3)),
+            **TINY)
+        assert config_hash(a) == config_hash(b)
+
 
 class TestDeriveSeeds:
     def test_deterministic_and_prefix_stable(self):
