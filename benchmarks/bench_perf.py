@@ -23,7 +23,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
 import tempfile
@@ -33,6 +32,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.policies import make_policy_config  # noqa: E402
+from repro.experiments.export import atomic_write_json  # noqa: E402
 from repro.runtime.system import ClusterSpec, ServerlessSystem  # noqa: E402
 from repro.sim.engine import Event, EventQueue, Simulator  # noqa: E402
 from repro.traces import step_poisson_trace  # noqa: E402
@@ -247,8 +247,7 @@ def main(argv=None) -> int:
           f"cache {rn['warm_cache_wall_s']}s "
           f"({rn['warm_cache_hits']}/{rn['trials']} hits)")
 
-    out_path = pathlib.Path(args.out)
-    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    out_path = atomic_write_json(args.out, report)
     print(f"wrote {out_path}")
 
     if args.min_eps and eng["fast"]["events_per_sec"] < args.min_eps:

@@ -55,7 +55,7 @@ _RESULT_HEADERS = ["policy", "SLO viol", "median(ms)", "P99(ms)",
 def _run_one(policy: str, mix_name: str, trace_kind: str, rate: float,
              duration: float, seed: int, nodes: int, tracer=None,
              overrides=None, shed_expired=False, node_fault_schedule=None,
-             diverge_at=None, diverge_factor=25.0):
+             diverge_at=None, diverge_factor=25.0, control_blackout=None):
     config = make_policy_config(policy, idle_timeout_ms=60_000.0,
                                 **(overrides or {}))
     predictor = None
@@ -80,6 +80,7 @@ def _run_one(policy: str, mix_name: str, trace_kind: str, rate: float,
         tracer=tracer,
         shed_expired=shed_expired,
         node_fault_schedule=node_fault_schedule,
+        control_blackout=control_blackout,
     )
     trace = _make_trace(trace_kind, rate, duration, seed)
     return system.run(trace), system
@@ -129,6 +130,18 @@ def _parse_fault_schedule(spec: Optional[str]):
         return NodeFaultSchedule.parse(spec)
     except ValueError as exc:
         raise SystemExit(f"--node-fault-schedule: {exc}")
+
+
+def _parse_blackout(spec: Optional[str]):
+    """Parse ``--control-blackout`` or exit with a usage error."""
+    if not spec:
+        return None
+    from repro.cluster.faults import ControlPlaneBlackout
+
+    try:
+        return ControlPlaneBlackout.parse(spec)
+    except ValueError as exc:
+        raise SystemExit(f"--control-blackout: {exc}")
 
 
 def _guard_overrides(args) -> dict:
@@ -207,6 +220,9 @@ def _run_batch(args) -> int:
     if args.node_fault_schedule:
         _parse_fault_schedule(args.node_fault_schedule)  # fail fast
         faults["node_fault_schedule"] = args.node_fault_schedule
+    if getattr(args, "control_blackout", None):
+        _parse_blackout(args.control_blackout)  # fail fast
+        faults["control_blackout"] = args.control_blackout
     if faults:
         common["faults"] = tuple(sorted(faults.items()))
     if args.sim_shed_expired:
@@ -265,6 +281,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         node_fault_schedule=_parse_fault_schedule(args.node_fault_schedule),
         diverge_at=args.diverge_at,
         diverge_factor=args.diverge_factor,
+        control_blackout=_parse_blackout(args.control_blackout),
     )
     print(format_table(
         _RESULT_HEADERS, [_result_row(args.policy, result)],
@@ -312,21 +329,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
             if args.kill_workers_at is not None
             else None
         ),
+        gateway_crash_at_ms=(
+            args.gateway_crash_at * 1000.0
+            if args.gateway_crash_at is not None
+            else None
+        ),
+        control_crash_at_ms=(
+            args.control_crash_at * 1000.0
+            if args.control_crash_at is not None
+            else None
+        ),
     )
     retry = RetryPolicy(
         max_attempts=args.max_retries + 1,
         deadline_grace_ms=args.retry_deadline_grace,
     )
-    options = ServeOptions(
-        time_scale=args.time_scale,
-        max_pending=args.max_pending,
-        drain_timeout_ms=args.drain_timeout * 1000.0,
-        executor_workers=args.executor_workers,
-        retry=retry,
-        faults=faults,
-        shed_expired=args.shed_expired,
-        node_fault_schedule=_parse_fault_schedule(args.node_fault_schedule),
-    )
+    try:
+        options = ServeOptions(
+            time_scale=args.time_scale,
+            max_pending=args.max_pending,
+            drain_timeout_ms=args.drain_timeout * 1000.0,
+            executor_workers=args.executor_workers,
+            retry=retry,
+            faults=faults,
+            shed_expired=args.shed_expired,
+            node_fault_schedule=_parse_fault_schedule(args.node_fault_schedule),
+            journal_dir=args.journal_dir,
+            checkpoint_interval_ms=args.checkpoint_interval * 1000.0,
+            drain_grace_ms=(
+                args.drain_grace * 1000.0
+                if args.drain_grace is not None
+                else None
+            ),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}")
     tracer = _make_tracer(args)
     runtime = ServingRuntime(
         config=config,
@@ -348,6 +385,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"\npeak containers: {result.peak_containers}  "
           f"shed: {runtime.shed_jobs}  "
           f"drained: {'yes' if runtime.drain_completed else 'timed out'}")
+    if args.journal_dir:
+        print(f"durability: {result.journal_appends} journal appends  "
+              f"recoveries: {result.recoveries}  "
+              f"requeued: {result.jobs_requeued_on_recovery}  "
+              f"deduped: {result.jobs_deduped_on_recovery}"
+              + ("  (interrupted)" if runtime.interrupted else ""))
     resilient = (
         result.n_failed or result.task_retries or result.container_crashes
         or result.task_timeouts or result.dead_lettered or result.tick_errors
@@ -375,13 +418,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 "time_scale": args.time_scale,
                 "shed_jobs": runtime.shed_jobs,
                 "shed_deadline": runtime.gateway.shed_deadline,
+                "backpressure_sheds": runtime.gateway.backpressure_sheds,
                 "drain_completed": runtime.drain_completed,
+                "interrupted": runtime.interrupted,
                 "in_flight": runtime.gateway.in_flight,
                 "duplicate_completions": runtime.gateway.duplicate_completions,
+                "stale_signals": runtime.gateway.stale_signals,
                 "supervised_respawns": runtime.control.supervised_respawns,
                 "workers_killed": (
                     runtime.chaos.workers_killed if runtime.chaos else 0
                 ),
+                "recoveries": result.recoveries,
+                "jobs_requeued_on_recovery": result.jobs_requeued_on_recovery,
+                "jobs_deduped_on_recovery": result.jobs_deduped_on_recovery,
+                "journal_appends": result.journal_appends,
             }},
         )
         print(f"JSON summary: {path}")
@@ -652,6 +702,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "fallback)")
     run_p.add_argument("--diverge-factor", type=float, default=25.0,
                        help="forecast inflation factor once diverged")
+    run_p.add_argument("--control-blackout", default=None,
+                       metavar="START:END",
+                       help="chaos: control-plane blackout window (model "
+                            "seconds) — arrivals inside it are lost at the "
+                            "front door and monitor ticks are skipped; the "
+                            "sim twin of serve's --gateway-crash-at")
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser(
@@ -677,9 +733,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--time-scale", type=float, default=1.0,
                          help="wall seconds per model second "
                               "(0.1 = 10x compressed)")
-    serve_p.add_argument("--max-pending", type=int, default=0,
-                         help="shed arrivals beyond this many in-flight "
-                              "jobs (0 = unbounded)")
+    serve_p.add_argument("--max-inflight", "--max-pending",
+                         dest="max_pending", type=int, default=0,
+                         help="backpressure: shed arrivals beyond this many "
+                              "in-flight jobs (0 = unbounded; counted in "
+                              "gateway_backpressure_sheds_total)")
     serve_p.add_argument("--drain-timeout", type=float, default=120.0,
                          help="graceful-drain bound after the trace ends, "
                               "model seconds")
@@ -710,6 +768,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--shed-expired", action="store_true",
                          help="shed arrivals whose slack is already gone "
                               "given the first stage's queueing delay")
+    d = serve_p.add_argument_group("durability / crash recovery")
+    d.add_argument("--journal-dir", default=None, metavar="DIR",
+                   help="durability on: write-ahead request journal + "
+                        "control-plane checkpoints in DIR (off by default; "
+                        "defaults keep the exact pre-durability behaviour)")
+    d.add_argument("--checkpoint-interval", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="model seconds between control-plane checkpoints "
+                        "(with --journal-dir)")
+    d.add_argument("--gateway-crash-at", type=float, default=None,
+                   metavar="SECONDS",
+                   help="chaos: crash the gateway at this model time and "
+                        "restore it from journal + checkpoint "
+                        "(requires --journal-dir)")
+    d.add_argument("--control-crash-at", type=float, default=None,
+                   metavar="SECONDS",
+                   help="chaos: crash the control loop (scalers, governor) "
+                        "at this model time and rebuild it from the latest "
+                        "checkpoint (requires --journal-dir)")
+    d.add_argument("--drain-grace", type=float, default=None,
+                   metavar="SECONDS",
+                   help="drain budget on SIGTERM/SIGINT before the final "
+                        "checkpoint + journal flush (default: "
+                        "--drain-timeout)")
     add_guardrails(serve_p)
     add_obs(serve_p)
     serve_p.set_defaults(func=cmd_serve)

@@ -274,3 +274,43 @@ class NodeFaultSchedule:
                 destroyed
             )
         return destroyed
+
+
+@dataclass(frozen=True)
+class ControlPlaneBlackout:
+    """A window during which the *control plane itself* is down.
+
+    The simulator's mirror of the live runtime's gateway/control-loop
+    crash injection: inside ``[start_ms, end_ms)`` arrivals are lost at
+    the front door (created + shed, so SLO accounting still sees them)
+    and monitor ticks do not run (no scaling, no supervision, no
+    samples).  The instant the window closes counts as one recovery —
+    the control plane restarts and resumes on the next tick boundary.
+    """
+
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0:
+            raise ValueError("start_ms must be >= 0")
+        if self.end_ms <= self.start_ms:
+            raise ValueError("end_ms must be > start_ms")
+
+    @classmethod
+    def parse(cls, spec: str) -> "ControlPlaneBlackout":
+        """Build a blackout from a CLI spec ``START:END`` (seconds)."""
+        try:
+            start_part, end_part = spec.split(":", 1)
+            return cls(
+                start_ms=float(start_part) * 1000.0,
+                end_ms=float(end_part) * 1000.0,
+            )
+        except ValueError as exc:
+            raise ValueError(
+                f"bad control-blackout spec {spec!r} "
+                f"(expected START:END in seconds, e.g. 30:45): {exc}"
+            ) from exc
+
+    def covers(self, t_ms: float) -> bool:
+        return self.start_ms <= t_ms < self.end_ms

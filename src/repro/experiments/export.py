@@ -9,7 +9,9 @@ gnuplot, spreadsheets) can regenerate the paper's figures from a run.
 from __future__ import annotations
 
 import csv
+import io
 import json
+import os
 import pathlib
 from typing import Dict, Sequence, Union
 
@@ -21,14 +23,42 @@ from repro.metrics.stats import cdf_points
 PathLike = Union[str, pathlib.Path]
 
 
-def _write_rows(path: PathLike, header: Sequence[str], rows) -> pathlib.Path:
+def atomic_write_text(path: PathLike, text: str) -> pathlib.Path:
+    """Write *text* to *path* atomically (tmp file + ``os.replace``).
+
+    Readers never observe a truncated artifact: they see the previous
+    complete file or the new complete file, nothing in between.  Every
+    artifact writer — JSON summaries, span JSONL, Prometheus snapshots,
+    BENCH/robustness JSON, checkpoints — funnels through this helper.
+    """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(header)
-        writer.writerows(rows)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return path
+
+
+def atomic_write_json(path: PathLike, payload) -> pathlib.Path:
+    """Atomically write *payload* as indented, key-sorted JSON."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _write_rows(path: PathLike, header: Sequence[str], rows) -> pathlib.Path:
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    writer.writerows(rows)
+    return atomic_write_text(path, buffer.getvalue())
 
 
 def export_summary(
@@ -119,12 +149,7 @@ def export_json_summary(
             for policy, r in results.items()
         ]
     }
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    return atomic_write_json(path, payload)
 
 
 def export_latency_cdf(

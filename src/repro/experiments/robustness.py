@@ -23,20 +23,28 @@ LSTM swapped via the ``proactive_predictor`` override) so the study
 runs in seconds and stays deterministic without a training step; the
 guard logic is predictor-agnostic.
 
+A second, optional study (``--crash-recovery``) exercises the durable
+control plane end-to-end on the *live* serving path: two identical
+serves of the same trace — one uninterrupted, one with the gateway
+killed mid-run and restored from its journal + checkpoint — must agree
+on SLO-violation rate to within two points, and the crashed arm's
+journal must conserve every job exactly once (``#admit == #terminal``
+per job id, no duplicate terminals).
+
 Run it::
 
     PYTHONPATH=src python -m repro.experiments.robustness --quick \
-        --out robustness.json
+        --crash-recovery --out robustness.json
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Dict, List, Optional
 
 from repro.experiments import format_table
+from repro.experiments.export import atomic_write_json
 from repro.experiments.runner import ExperimentRunner, TrialSpec
 
 #: Forecast corruption: inflate by 30x from the third monitor tick on.
@@ -148,6 +156,144 @@ def run_robustness_study(
     return out
 
 
+def journal_conservation(records: List[Dict]) -> Dict:
+    """Exactly-once verdict over a journal's records.
+
+    Per unique job id the journal must hold at least one ``admit`` and
+    exactly one terminal record (``complete``/``fail``/``shed``) once
+    the run has drained.  Duplicate admits for the same id are fine —
+    recovery never re-journals admissions, so any duplicate would be a
+    real double-count — but duplicate *terminals* and admitted-without-
+    terminal jobs are conservation failures.
+    """
+    from repro.serve.journal import EV_ADMIT, TERMINAL_EVENTS
+
+    admits: Dict[int, int] = {}
+    terminals: Dict[int, int] = {}
+    for rec in records:
+        job = rec["job"]
+        if rec["ev"] == EV_ADMIT:
+            admits[job] = admits.get(job, 0) + 1
+        elif rec["ev"] in TERMINAL_EVENTS:
+            terminals[job] = terminals.get(job, 0) + 1
+    lost = sorted(j for j in admits if j not in terminals)
+    duplicated = sorted(j for j, n in terminals.items() if n > 1)
+    orphaned = sorted(j for j in terminals if j not in admits)
+    return {
+        "jobs_admitted": len(admits),
+        "jobs_terminal": len(terminals),
+        "lost_jobs": lost,
+        "duplicated_terminals": duplicated,
+        "orphaned_terminals": orphaned,
+        "conserved": not (lost or duplicated or orphaned),
+    }
+
+
+def run_crash_recovery_study(quick: bool = False, seed: int = 7) -> Dict:
+    """Crash the live gateway mid-run and compare against no crash.
+
+    Both arms serve the identical Poisson trace with durability on
+    (journal + periodic checkpoints into a throwaway directory); the
+    ``crashed`` arm additionally kills the gateway 40% of the way in,
+    forcing a journal/checkpoint restore.  Time compression keeps each
+    arm under a couple of wall seconds.
+    """
+    import pathlib
+    import tempfile
+
+    from repro.serve import FaultConfig, ServeOptions, serve_trace
+    from repro.serve.journal import JOURNAL_BASENAME, RequestJournal
+    from repro.traces.poisson import poisson_trace
+    from repro.workloads.mixes import get_mix
+
+    duration = 20.0 if quick else 40.0
+    rate_rps = 8.0
+    crash_at_ms = duration * 1000.0 * 0.4
+    mix = get_mix("medium")
+    trace = poisson_trace(rate_rps=rate_rps, duration_s=duration, seed=seed)
+
+    def run_arm(crash: bool) -> Dict:
+        faults = FaultConfig(
+            gateway_crash_at_ms=crash_at_ms if crash else None)
+        with tempfile.TemporaryDirectory(prefix="crash-recovery-") as jdir:
+            options = ServeOptions(
+                time_scale=0.05,
+                drain_timeout_ms=duration * 1000.0,
+                journal_dir=jdir,
+                checkpoint_interval_ms=2_000.0,
+                faults=faults,
+            )
+            result = serve_trace(
+                "rscale", mix, trace, seed=seed, options=options)
+            records = RequestJournal.read_records(
+                pathlib.Path(jdir) / JOURNAL_BASENAME)
+        conservation = journal_conservation(records)
+        s = result.summary()
+        return {
+            "slo_violation_rate": s["slo_violation_rate"],
+            "p99_latency_ms": s["p99_latency_ms"],
+            "jobs": int(result.n_jobs),
+            "completed": int(result.n_completed),
+            "journal_appends": int(result.journal_appends),
+            "recoveries": int(result.recoveries),
+            "jobs_requeued_on_recovery": int(result.jobs_requeued_on_recovery),
+            "jobs_deduped_on_recovery": int(result.jobs_deduped_on_recovery),
+            "conservation": conservation,
+        }
+
+    arms = {"baseline": run_arm(False), "crashed": run_arm(True)}
+    delta = abs(
+        arms["crashed"]["slo_violation_rate"]
+        - arms["baseline"]["slo_violation_rate"]
+    )
+    out = {
+        "quick": quick,
+        "seed": seed,
+        "crash_at_ms": crash_at_ms,
+        "arms": arms,
+        "slo_delta": delta,
+        "acceptance": {
+            # Restoring from the journal must not move the headline SLO
+            # number by more than two points ...
+            "recovered_slo_within_2pts": bool(delta <= 0.02),
+            # ... must actually have exercised the recovery path ...
+            "recovery_happened": bool(arms["crashed"]["recoveries"] >= 1),
+            # ... and must lose or double-count nothing.
+            "crashed_arm_conserves_jobs": bool(
+                arms["crashed"]["conservation"]["conserved"]),
+            "baseline_arm_conserves_jobs": bool(
+                arms["baseline"]["conservation"]["conserved"]),
+        },
+    }
+    return out
+
+
+def _print_crash_recovery(study: Dict) -> None:
+    rows = [
+        (
+            arm,
+            f"{d['slo_violation_rate']:.3%}",
+            d["jobs"],
+            d["completed"],
+            d["recoveries"],
+            d["jobs_requeued_on_recovery"],
+            d["jobs_deduped_on_recovery"],
+            "yes" if d["conservation"]["conserved"] else "NO",
+        )
+        for arm, d in study["arms"].items()
+    ]
+    print(format_table(
+        ["arm", "SLO viol", "jobs", "completed", "recoveries",
+         "requeued", "deduped", "conserved"],
+        rows,
+        title="crash recovery (live gateway)",
+    ))
+    print()
+    print("crash-recovery acceptance: " + "  ".join(
+        f"{k}={'PASS' if v else 'FAIL'}"
+        for k, v in study["acceptance"].items()))
+
+
 def _print_study(study: Dict) -> None:
     for scenario, arms in study["scenarios"].items():
         rows = [
@@ -188,6 +334,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="disk cache for finished trials")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--crash-recovery", action="store_true",
+                        help="also run the live gateway crash-recovery "
+                             "study (journal + checkpoint restore)")
     args = parser.parse_args(argv)
 
     study = run_robustness_study(
@@ -195,11 +344,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_dir=args.cache_dir, seed=args.seed,
     )
     _print_study(study)
+    verdicts = dict(study["acceptance"])
+    if args.crash_recovery:
+        print()
+        crash_study = run_crash_recovery_study(
+            quick=args.quick, seed=args.seed)
+        study["crash_recovery"] = crash_study
+        _print_crash_recovery(crash_study)
+        verdicts.update(
+            (f"crash_recovery.{k}", v)
+            for k, v in crash_study["acceptance"].items()
+        )
     if args.out:
-        with open(args.out, "w") as fh:
-            json.dump(study, fh, indent=2, sort_keys=True)
+        atomic_write_json(args.out, study)
         print(f"study JSON: {args.out}")
-    return 0 if all(study["acceptance"].values()) else 1
+    return 0 if all(verdicts.values()) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

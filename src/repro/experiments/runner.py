@@ -65,6 +65,8 @@ class TrialSpec:
     Recognised ``faults`` keys: ``crash_probability``, ``crash_point``,
     ``node_fault_schedule`` (a spec string for
     :meth:`~repro.cluster.faults.NodeFaultSchedule.parse`),
+    ``control_blackout`` (a ``START:END`` spec for
+    :meth:`~repro.cluster.faults.ControlPlaneBlackout.parse`),
     ``diverge_after`` (monitor ticks), ``diverge_factor``,
     ``diverge_mode`` (``"scale"`` | ``"nan"``).
     """
@@ -182,6 +184,11 @@ def _run_trial_result(spec: TrialSpec) -> RunResult:
         from repro.cluster.faults import NodeFaultSchedule
 
         schedule = NodeFaultSchedule.parse(str(faults["node_fault_schedule"]))
+    blackout = None
+    if faults.get("control_blackout"):
+        from repro.cluster.faults import ControlPlaneBlackout
+
+        blackout = ControlPlaneBlackout.parse(str(faults["control_blackout"]))
     system = ServerlessSystem(
         config=config,
         mix=_get_mix(spec.mix),
@@ -191,6 +198,7 @@ def _run_trial_result(spec: TrialSpec) -> RunResult:
         fault_model=fault_model,
         shed_expired=spec.shed_expired,
         node_fault_schedule=schedule,
+        control_blackout=blackout,
     )
     trace = make_trace(spec.trace_kind, spec.rate_rps, spec.duration_s,
                        spec.seed)

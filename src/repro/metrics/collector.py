@@ -94,6 +94,19 @@ class RunResult:
     nodes_recovered: int = 0
     #: Already-dead tasks dropped at overloaded downstream stages.
     stage_sheds: int = 0
+    # Durability + crash-recovery counters (zero unless a journal dir /
+    # crash injection / blackout window was configured for the run).
+    #: Records appended to the write-ahead request journal.
+    journal_appends: int = 0
+    #: Control-plane recoveries (gateway or control-loop restores, or
+    #: sim blackout windows that closed).
+    recoveries: int = 0
+    #: Journaled-but-unfinished jobs re-admitted by recovery.
+    jobs_requeued_on_recovery: int = 0
+    #: Journaled terminal jobs recovery refused to re-run (exactly-once).
+    jobs_deduped_on_recovery: int = 0
+    #: Arrivals shed by the ``max_pending`` bound alone (⊂ shed_jobs).
+    backpressure_sheds: int = 0
     # Lazily filled caches (sort once, reuse for every quantile /
     # summary / CDF request against this result).
     _sorted_latencies: Optional[np.ndarray] = field(
@@ -217,6 +230,11 @@ class RunResult:
             "nodes_killed": float(self.nodes_killed),
             "nodes_recovered": float(self.nodes_recovered),
             "stage_sheds": float(self.stage_sheds),
+            "journal_appends": float(self.journal_appends),
+            "recoveries": float(self.recoveries),
+            "jobs_requeued_on_recovery": float(self.jobs_requeued_on_recovery),
+            "jobs_deduped_on_recovery": float(self.jobs_deduped_on_recovery),
+            "backpressure_sheds": float(self.backpressure_sheds),
         }
 
 
@@ -369,4 +387,13 @@ class MetricsCollector:
             nodes_recovered=int(
                 self.registry.total("cluster_node_recoveries_total")),
             stage_sheds=int(self.registry.total("pool_tasks_shed_total")),
+            journal_appends=int(
+                self.registry.total("journal_appends_total")),
+            recoveries=int(self.registry.total("recoveries_total")),
+            jobs_requeued_on_recovery=int(
+                self.registry.total("jobs_requeued_on_recovery")),
+            jobs_deduped_on_recovery=int(
+                self.registry.total("jobs_deduped_on_recovery")),
+            backpressure_sheds=int(
+                self.registry.total("gateway_backpressure_sheds_total")),
         )

@@ -76,14 +76,17 @@ def validate_span_dict(record: Dict[str, object]) -> None:
 
 
 def write_spans_jsonl(spans: Iterable[Span], path: PathLike) -> pathlib.Path:
-    """Write spans as JSONL, one schema-valid object per line."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as handle:
-        for span in spans:
-            handle.write(json.dumps(span.to_dict(), sort_keys=True))
-            handle.write("\n")
-    return path
+    """Write spans as JSONL, one schema-valid object per line.
+
+    Atomic (tmp + ``os.replace``): a crash mid-export never leaves a
+    truncated span file for the golden-trace diff to choke on.
+    """
+    from repro.experiments.export import atomic_write_text
+
+    lines = "".join(
+        json.dumps(span.to_dict(), sort_keys=True) + "\n" for span in spans
+    )
+    return atomic_write_text(path, lines)
 
 
 def validate_spans_jsonl(path: PathLike) -> int:
@@ -149,11 +152,11 @@ def prometheus_snapshot(registry: MetricsRegistry) -> str:
 def write_metrics_text(
     registry: MetricsRegistry, path: PathLike
 ) -> pathlib.Path:
-    """Write a Prometheus text snapshot of *registry* to *path*."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(prometheus_snapshot(registry))
-    return path
+    """Write a Prometheus text snapshot of *registry* to *path*
+    atomically (scrapers never see a half-written exposition)."""
+    from repro.experiments.export import atomic_write_text
+
+    return atomic_write_text(path, prometheus_snapshot(registry))
 
 
 # -- latency breakdown -------------------------------------------------------

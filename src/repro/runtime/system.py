@@ -22,7 +22,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.cluster.coldstart import ColdStartModel
 from repro.cluster.energy import EnergyMeter, NodePowerModel
-from repro.cluster.faults import NodeFaultSchedule
+from repro.cluster.faults import ControlPlaneBlackout, NodeFaultSchedule
 from repro.core.policies import RMConfig
 from repro.core.scaling import (
     HPAScaler,
@@ -94,6 +94,7 @@ class ServerlessSystem:
         fast_path: bool = True,
         shed_expired: bool = False,
         node_fault_schedule: Optional[NodeFaultSchedule] = None,
+        control_blackout: Optional[ControlPlaneBlackout] = None,
     ) -> None:
         self.config = config
         self.mix = mix
@@ -130,6 +131,10 @@ class ServerlessSystem:
         self.shed_expired = shed_expired
         #: Scripted node kills/recoveries replayed during the run.
         self.node_fault_schedule = node_fault_schedule
+        #: Control-plane blackout window, mirroring the live runtime's
+        #: gateway/control-loop crash injection: arrivals inside it are
+        #: lost at the front door and monitor ticks do not run.
+        self.control_blackout = control_blackout
         #: Contained control-plane tick failures (parity with serve's
         #: ``ControlLoop.tick_errors``).
         self.tick_errors = 0
@@ -298,6 +303,15 @@ class ServerlessSystem:
     def _on_arrival(self) -> None:
         assert self.sim is not None
         now = self.sim.now
+        if self.control_blackout is not None and self.control_blackout.covers(now):
+            # Dead control plane: the request is lost at the front door
+            # (created + shed, so the SLO math still sees it) and the
+            # sampler — state that died with the brain — learns nothing.
+            # Mirrors the live Gateway's ``dead`` branch exactly.
+            self.metrics.record_job_created()
+            self.registry.counter("gateway_shed_total").inc()
+            self.registry.counter("control_plane_blackout_lost_total").inc()
+            return
         app = self.mix.sample_application(self._rng_apps)
         scale = (
             self.input_scale_sampler(self._rng_apps)
@@ -418,6 +432,15 @@ class ServerlessSystem:
             pool.reap_idle(self.config.idle_timeout_ms)
 
     def _tick_monitor(self, now_ms: float) -> None:
+        if (
+            self.control_blackout is not None
+            and self.control_blackout.covers(now_ms)
+        ):
+            # No scaling, no supervision, no samples while the control
+            # plane is down — the same hole a crashed live ControlLoop
+            # leaves in the metrics timeline.
+            self.registry.counter("control_plane_ticks_skipped_total").inc()
+            return
         if self.governor is not None:
             self._guarded_step("governor", self.governor.begin_tick, now_ms)
         if self.reactive is not None:
@@ -494,6 +517,21 @@ class ServerlessSystem:
                     ),
                     label="node-fault",
                 )
+        if self.control_blackout is not None:
+            # The window's edges are the crash and the recovery: one
+            # counter bump each, so sim and live runs expose the same
+            # ``control_plane_crashes_total`` / ``recoveries_total``.
+            sim.schedule_at(
+                self.control_blackout.start_ms,
+                lambda: self.registry.counter(
+                    "control_plane_crashes_total").inc(),
+                label="blackout-start",
+            )
+            sim.schedule_at(
+                self.control_blackout.end_ms,
+                lambda: self.registry.counter("recoveries_total").inc(),
+                label="blackout-end",
+            )
         if ticker is not None and ticker.interval == self.config.monitor_interval_ms:
             return ticker.add(self._tick_monitor)
         return PeriodicProcess(
@@ -559,6 +597,7 @@ def run_policy(
     fast_path: bool = True,
     shed_expired: bool = False,
     node_fault_schedule: Optional[NodeFaultSchedule] = None,
+    control_blackout: Optional[ControlPlaneBlackout] = None,
     **config_overrides,
 ) -> RunResult:
     """Convenience one-call runner used by examples and benches.
@@ -583,5 +622,6 @@ def run_policy(
         fast_path=fast_path,
         shed_expired=shed_expired,
         node_fault_schedule=node_fault_schedule,
+        control_blackout=control_blackout,
     )
     return system.run(trace)

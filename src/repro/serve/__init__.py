@@ -25,11 +25,19 @@ same, unmodified Fifer bricks —
 workload in 6 wall seconds) so sim-vs-live parity checks stay cheap.
 """
 
+from repro.serve.checkpoint import CheckpointManager
 from repro.serve.clock import ScaledClock
 from repro.serve.config import FaultConfig, ServeOptions
 from repro.serve.faults import ChaosInjector
 from repro.serve.gateway import Gateway
+from repro.serve.journal import RequestJournal
 from repro.serve.pool import WorkerPool, WorkerSlot
+from repro.serve.recovery import (
+    JournaledJob,
+    RecoveryPlan,
+    build_recovery_plan,
+    replay_journal,
+)
 from repro.serve.replayer import PlannedArrival, TraceReplayer
 from repro.serve.retry import (
     DeadLetterQueue,
@@ -40,10 +48,14 @@ from repro.serve.runtime import ServingRuntime, serve_trace
 
 __all__ = [
     "ChaosInjector",
+    "CheckpointManager",
     "DeadLetterQueue",
     "FaultConfig",
     "Gateway",
+    "JournaledJob",
     "PlannedArrival",
+    "RecoveryPlan",
+    "RequestJournal",
     "RetryManager",
     "RetryPolicy",
     "ScaledClock",
@@ -52,5 +64,7 @@ __all__ = [
     "TraceReplayer",
     "WorkerPool",
     "WorkerSlot",
+    "build_recovery_plan",
+    "replay_journal",
     "serve_trace",
 ]

@@ -42,6 +42,13 @@ class FaultConfig:
         kill_workers_at_ms: model time at which the busiest node's
             entire worker group is killed (``fail_node`` against the
             live pools); ``None`` disables the kill.
+        gateway_crash_at_ms: model time at which the *gateway itself*
+            dies — every pending hop timer, queued task and in-flight
+            callback is lost, and the runtime restores from journal +
+            checkpoint (``None`` disables; requires a journal dir).
+        control_crash_at_ms: model time at which the control loop dies
+            (scalers, governor and sampler state lost) and is rebuilt
+            from the latest checkpoint.
     """
 
     crash_prob: float = 0.0
@@ -51,6 +58,8 @@ class FaultConfig:
     brownout_end_ms: float = 0.0
     brownout_factor: float = 3.0
     kill_workers_at_ms: Optional[float] = None
+    gateway_crash_at_ms: Optional[float] = None
+    control_crash_at_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.crash_prob <= 1.0:
@@ -63,10 +72,24 @@ class FaultConfig:
             raise ValueError("brownout_factor must be >= 1")
         if self.kill_workers_at_ms is not None and self.kill_workers_at_ms < 0:
             raise ValueError("kill_workers_at_ms must be >= 0")
+        for name in ("gateway_crash_at_ms", "control_crash_at_ms"):
+            at_ms = getattr(self, name)
+            if at_ms is not None and at_ms < 0:
+                raise ValueError(f"{name} must be >= 0")
 
     @property
     def brownout_enabled(self) -> bool:
         return self.brownout_end_ms > self.brownout_start_ms
+
+    @property
+    def control_plane_crashes(self):
+        """Scheduled brain crashes as sorted ``(kind, at_ms)`` pairs."""
+        plan = []
+        if self.gateway_crash_at_ms is not None:
+            plan.append(("gateway", self.gateway_crash_at_ms))
+        if self.control_crash_at_ms is not None:
+            plan.append(("control", self.control_crash_at_ms))
+        return tuple(sorted(plan, key=lambda kv: kv[1]))
 
     @property
     def any_faults(self) -> bool:
@@ -115,6 +138,20 @@ class ServeOptions:
             (:class:`~repro.cluster.faults.NodeFaultSchedule`) replayed
             on the scaled clock — the same schedule object the
             simulator consumes, so fault parity is exact.
+        journal_dir: durability master switch.  When set, the runtime
+            write-ahead-journals every request event to
+            ``<journal_dir>/journal.jsonl``, checkpoints control-plane
+            state there, and can recover from control-plane crashes.
+            ``None`` (default) keeps the exact pre-durability path.
+        checkpoint_interval_ms: model-ms between control-plane
+            snapshots (only meaningful with ``journal_dir``).
+        journal_fsync_batch: hop/retry records buffered between fsyncs
+            (admissions and terminal events always force a flush).
+        drain_grace_ms: drain budget on *interrupted* shutdown
+            (SIGTERM/SIGINT): in-flight jobs get this much model time
+            to finish before the runtime flushes the journal, writes a
+            final checkpoint and reports.  ``None`` falls back to
+            ``drain_timeout_ms``.
     """
 
     time_scale: float = 1.0
@@ -127,6 +164,10 @@ class ServeOptions:
     task_timeout: bool = True
     timeout_floor_wall_s: float = 1.0
     node_fault_schedule: Optional[NodeFaultSchedule] = None
+    journal_dir: Optional[str] = None
+    checkpoint_interval_ms: float = 30_000.0
+    journal_fsync_batch: int = 32
+    drain_grace_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.time_scale <= 0:
@@ -139,3 +180,17 @@ class ServeOptions:
             raise ValueError("executor_workers must be >= 0")
         if self.timeout_floor_wall_s < 0:
             raise ValueError("timeout_floor_wall_s must be >= 0")
+        if self.checkpoint_interval_ms <= 0:
+            raise ValueError("checkpoint_interval_ms must be positive")
+        if self.journal_fsync_batch < 1:
+            raise ValueError("journal_fsync_batch must be >= 1")
+        if self.drain_grace_ms is not None and self.drain_grace_ms < 0:
+            raise ValueError("drain_grace_ms must be >= 0")
+        if (
+            self.faults.gateway_crash_at_ms is not None
+            or self.faults.control_crash_at_ms is not None
+        ) and not self.journal_dir:
+            raise ValueError(
+                "control-plane crash injection requires journal_dir "
+                "(there is nothing to recover from otherwise)"
+            )

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.core.policies import RMConfig
@@ -52,6 +52,7 @@ class ControlLoop:
         hpa: Optional[HPAScaler] = None,
         proactive: Optional[ProactiveScaler] = None,
         governor: Optional[SpawnGovernor] = None,
+        checkpoint: Optional[Callable[[float], None]] = None,
     ) -> None:
         self.clock = clock
         self.pools = pools
@@ -62,6 +63,11 @@ class ControlLoop:
         self.hpa = hpa
         self.proactive = proactive
         self.governor = governor
+        #: Optional durability hook (``CheckpointManager.maybe`` bound
+        #: to the runtime's snapshot): called once per tick, so a dead
+        #: control loop stops checkpointing — which is exactly what a
+        #: control-plane crash should look like to the recovery path.
+        self.checkpoint = checkpoint
         self.ticks = 0
         #: Tick steps that raised (and were contained) — nonzero means
         #: a control-plane component is broken; surfaced in summaries.
@@ -113,11 +119,16 @@ class ControlLoop:
             self._guarded("proactive", self.proactive.tick, now_ms)
         self._guarded("reap", self._reap, now_ms)
         self._guarded("sample", self.metrics.sample, self.pools, self.cluster.nodes, now_ms)
+        if self.checkpoint is not None:
+            self._guarded("checkpoint", self.checkpoint, now_ms)
         self.ticks += 1
 
     async def _run(self) -> None:
         interval = self.config.monitor_interval_ms
-        n = 1
+        # Restart-safe: a loop (re)started mid-run resumes at the next
+        # interval boundary instead of replaying every missed tick as a
+        # burst (n=1 from t=0 is the original behaviour for t=0 starts).
+        n = int(self.clock.now // interval) + 1
         while True:
             # Absolute deadlines: a slow tick shortens the next sleep
             # instead of shifting every subsequent tick.

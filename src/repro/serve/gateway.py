@@ -22,6 +22,8 @@ from repro.metrics.collector import MetricsCollector
 from repro.obs.registry import MetricsRegistry
 from repro.prediction.windowed import WindowedMaxSampler
 from repro.serve.clock import ScaledClock
+from repro.serve.journal import RequestJournal
+from repro.serve.recovery import RECOVERY_EXPIRED_REASON, JournaledJob
 from repro.workflow.job import Job, Task
 from repro.workflow.pool import FunctionPool
 from repro.workloads.applications import Application
@@ -43,6 +45,7 @@ class Gateway:
         input_scale_sampler: Optional[Callable[[np.random.Generator], float]] = None,
         shed_expired: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        journal: Optional[RequestJournal] = None,
     ) -> None:
         if max_pending < 0:
             raise ValueError("max_pending must be >= 0")
@@ -55,6 +58,18 @@ class Gateway:
         self.max_pending = max_pending
         self.input_scale_sampler = input_scale_sampler
         self.shed_expired = shed_expired
+        #: Optional write-ahead journal; None = durability off, with a
+        #: code path bit-identical to the pre-journal gateway.
+        self.journal = journal
+        #: Crash flag: a dead gateway drops everything — arrivals,
+        #: pending hop timers, task callbacks.  Its replacement (built
+        #: by the recovery path) takes over the shared registry gauges.
+        self.dead = False
+        #: Live-job registry: job id -> the Job *object* this gateway
+        #: admitted or recovered.  Terminal jobs leave the map; a task
+        #: signal whose job object is not the registered one is stale
+        #: (it crossed a crash epoch) and is dropped, not applied.
+        self._jobs: Dict[int, Job] = {}
         # Admission counters live in the run's metrics registry (shared
         # with the pools and the collector unless told otherwise); the
         # former ad-hoc integer attributes are read-only views below.
@@ -68,6 +83,10 @@ class Gateway:
             "gateway_dead_lettered_total")
         self._c_duplicates = self.registry.counter(
             "gateway_duplicate_completions_total")
+        self._c_backpressure = self.registry.counter(
+            "gateway_backpressure_sheds_total")
+        self._c_stale = self.registry.counter(
+            "gateway_stale_signals_total")
         self._idle = asyncio.Event()
         self._idle.set()
 
@@ -102,6 +121,18 @@ class Gateway:
         symptom of a double-delivery bug; counted, never applied."""
         return int(self._c_duplicates.value)
 
+    @property
+    def backpressure_sheds(self) -> int:
+        """Arrivals shed by the ``max_pending`` in-flight bound alone
+        (backpressure ⊂ ``shed``)."""
+        return int(self._c_backpressure.value)
+
+    @property
+    def stale_signals(self) -> int:
+        """Task signals from a pre-crash epoch, dropped by the live-job
+        identity check (orphaned executions finishing after recovery)."""
+        return int(self._c_stale.value)
+
     # -- request path ------------------------------------------------------
 
     def admit(
@@ -116,10 +147,19 @@ class Gateway:
         job counter (a shed request is an SLO violation, not a no-op).
         """
         now = self.clock.now
+        if self.dead:
+            # A crashed gateway answers nothing: the request is lost at
+            # the front door (created + shed, so the SLO math still sees
+            # it) and the predictor's sampler — control-plane state that
+            # died with the brain — learns nothing from it.
+            self.metrics.record_job_created()
+            self._c_shed.inc()
+            return None
         self.sampler.record(now)
         self.metrics.record_job_created()
         if self.max_pending and self.in_flight >= self.max_pending:
             self._c_shed.inc()
+            self._c_backpressure.inc()
             return None
         if app is None:
             app = self.mix.sample_application(self.rng)
@@ -134,6 +174,9 @@ class Gateway:
                 else 1.0
             )
         job = Job(app=app, arrival_ms=now, input_scale=input_scale)
+        self._jobs[job.job_id] = job
+        if self.journal is not None:
+            self.journal.admit(job)
         self._g_in_flight.inc()
         self._c_admitted.inc()
         self._idle.clear()
@@ -167,6 +210,12 @@ class Gateway:
         )
 
     def _enqueue_stage(self, job: Job, stage_index: int) -> None:
+        if self.dead:
+            # A pending hop timer fired into a crashed gateway: the job
+            # stays journaled-but-unfinished and recovery requeues it.
+            return
+        if self.journal is not None and stage_index > 0:
+            self.journal.hop(job, stage_index, self.clock.now)
         task = Task(job=job, stage_index=stage_index, enqueue_ms=self.clock.now)
         pool = self.pools[task.function]
         if (
@@ -191,10 +240,15 @@ class Gateway:
         if job.terminal:
             self._c_duplicates.inc()
             return
+        if self._stale(job):
+            return
         self.pools[task.function].record_shed()
         job.failed_ms = self.clock.now
         job.failure_reason = "shed-expired"
         self.metrics.record_job_failed(job)
+        self._jobs.pop(job.job_id, None)
+        if self.journal is not None:
+            self.journal.shed(job, self.clock.now, reason="shed-expired")
         self._settle()
 
     def on_task_finished(self, task: Task) -> None:
@@ -210,9 +264,14 @@ class Gateway:
         if job.terminal:
             self._c_duplicates.inc()
             return
+        if self._stale(job):
+            return
         if task.is_last_stage:
             job.completion_ms = self.clock.now
             self.metrics.record_job_completed(job)
+            self._jobs.pop(job.job_id, None)
+            if self.journal is not None:
+                self.journal.complete(job, self.clock.now)
             self._settle()
         else:
             self._later(job.app.transition_overhead_ms, job, task.stage_index + 1)
@@ -227,16 +286,99 @@ class Gateway:
         if job.terminal:
             self._c_duplicates.inc()
             return
+        if self._stale(job):
+            return
         job.failed_ms = self.clock.now
         job.failure_reason = reason
         self.metrics.record_job_failed(job)
+        self._jobs.pop(job.job_id, None)
+        if self.journal is not None:
+            self.journal.fail(job, self.clock.now, reason=reason)
         self._c_dead_lettered.inc()
         self._settle()
+
+    def _stale(self, job: Job) -> bool:
+        """Identity check against the live-job registry.
+
+        True (and counted) when *job* is not the object this gateway
+        knows under its id — a signal from a pre-crash epoch (or from a
+        dead gateway's leftovers).  Applying it would decrement
+        ``in_flight`` for a job the recovered epoch owns, corrupting
+        admission control and double-counting the outcome.
+        """
+        if self.dead or self._jobs.get(job.job_id) is not job:
+            self._c_stale.inc()
+            return True
+        return False
 
     def _settle(self) -> None:
         self._g_in_flight.dec()
         if self.in_flight == 0:
             self._idle.set()
+
+    # -- recovery ----------------------------------------------------------
+
+    def _rebuild_job(self, entry: JournaledJob) -> Optional[Job]:
+        """Reconstruct a Job from its journal record (same id/arrival)."""
+        app = next(
+            (a for a in self.mix.applications if a.name == entry.app), None
+        )
+        if app is None:
+            return None
+        return Job(
+            app=app,
+            arrival_ms=entry.arrival_ms,
+            job_id=entry.job_id,
+            input_scale=entry.input_scale,
+        )
+
+    def requeue_recovered(self, entry: JournaledJob) -> Optional[Job]:
+        """Re-admit a journaled-but-unfinished job after a crash.
+
+        The job keeps its original id, arrival time and input scale (so
+        its SLO clock keeps running across the crash — recovery must
+        not launder latency) and resumes at its furthest journaled
+        stage, paying the ingress transition overhead once more.  Not
+        re-journaled as an admit: its original admit record stands and
+        exactly one terminal record will follow.
+        """
+        job = self._rebuild_job(entry)
+        if job is None:
+            return None
+        self._jobs[job.job_id] = job
+        self._g_in_flight.inc()
+        self._idle.clear()
+        self._later(job.app.transition_overhead_ms, job, entry.last_stage)
+        return job
+
+    def expire_recovered(self, entry: JournaledJob) -> Optional[Job]:
+        """Shed a recovered job whose deadline already passed.
+
+        Re-running it cannot meet the SLO; it terminates as a failed
+        job (reason ``recovery-expired``) with a journaled ``shed``
+        record, so admissions == completions + fails + sheds holds.
+        Counted outside ``in_flight`` — the job was never re-admitted.
+        """
+        job = self._rebuild_job(entry)
+        if job is None:
+            return None
+        job.failed_ms = self.clock.now
+        job.failure_reason = RECOVERY_EXPIRED_REASON
+        self.metrics.record_job_failed(job)
+        if self.journal is not None:
+            self.journal.shed(job, self.clock.now,
+                              reason=RECOVERY_EXPIRED_REASON)
+        return job
+
+    def reset_in_flight(self) -> None:
+        """Zero the shared in-flight gauge before repopulating it.
+
+        The gauge survives the crashed gateway (it lives in the run
+        registry); the jobs it counted do not.  Called once by the
+        recovery path on the *new* gateway, before requeues.
+        """
+        self._g_in_flight.set(0)
+        self._idle.set()
 
     # -- drain -------------------------------------------------------------
 

@@ -1,0 +1,208 @@
+"""Write-ahead request journal for the live serving path.
+
+The gateway is the only component that knows which requests exist; if
+it dies, every in-flight job is forgotten and the run's accounting is
+silently wrong.  The journal fixes that: every admission, stage hop,
+retry and terminal outcome is appended — one JSON object per line — to
+an append-only file *before* the corresponding in-memory state becomes
+load-bearing.  Recovery (:mod:`repro.serve.recovery`) replays the tail
+to rebuild the live-job set with exactly-once accounting.
+
+Durability contract:
+
+* **admit** and terminal records (**complete** / **fail** / **shed**)
+  are flushed and fsynced immediately — losing one would lose a job or
+  double-count it after a restore.
+* **hop** and **retry** records are progress hints: they only affect
+  *where* a recovered job resumes, never *whether* it exists, so they
+  may batch up to ``fsync_batch`` appends before an fsync.
+
+The reader side tolerates a truncated final line (the classic
+crash-mid-append artifact) and ignores unknown event types, so the
+format can grow without breaking old recoveries.
+
+Conservation invariant (checked by the crash-recovery study): for every
+unique job id, ``#admit == #complete + #fail + #shed`` once the run has
+drained — journaled admissions equal completions + sheds + dead-letters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from repro.obs.registry import MetricsRegistry
+
+PathLike = Union[str, pathlib.Path]
+
+#: Journal schema version, stamped on every record.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Journal filename inside the durability directory.
+JOURNAL_BASENAME = "journal.jsonl"
+
+# Event types.
+EV_ADMIT = "admit"
+EV_HOP = "hop"
+EV_RETRY = "retry"
+EV_COMPLETE = "complete"
+EV_FAIL = "fail"
+EV_SHED = "shed"
+
+#: Events that end a job's life; exactly one per admitted job.
+TERMINAL_EVENTS = frozenset({EV_COMPLETE, EV_FAIL, EV_SHED})
+
+#: Events recovery understands; anything else is skipped on read.
+KNOWN_EVENTS = frozenset({EV_ADMIT, EV_HOP, EV_RETRY}) | TERMINAL_EVENTS
+
+#: Default hop/retry records buffered between fsyncs.
+DEFAULT_FSYNC_BATCH = 32
+
+
+class RequestJournal:
+    """Append-only JSONL write-ahead log keyed by job id."""
+
+    def __init__(
+        self,
+        path: PathLike,
+        fsync_batch: int = DEFAULT_FSYNC_BATCH,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if fsync_batch < 1:
+            raise ValueError("fsync_batch must be >= 1")
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync_batch = fsync_batch
+        # Append mode: a recovered run continues the same journal, so
+        # the full admission history survives any number of crashes.
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._buffer: List[str] = []
+        self._closed = False
+        registry = registry if registry is not None else MetricsRegistry()
+        self._c_appends = registry.counter("journal_appends_total")
+        self._c_fsyncs = registry.counter("journal_fsyncs_total")
+
+    # -- write side --------------------------------------------------------
+
+    def append(
+        self,
+        ev: str,
+        job_id: int,
+        t_ms: float,
+        durable: Optional[bool] = None,
+        **fields,
+    ) -> None:
+        """Append one record; fsync per the durability contract.
+
+        ``durable=None`` applies the default policy: admissions and
+        terminal events are forced to disk, progress hints batch.
+        """
+        if self._closed:
+            return
+        if durable is None:
+            durable = ev == EV_ADMIT or ev in TERMINAL_EVENTS
+        record = {
+            "v": JOURNAL_SCHEMA_VERSION,
+            "ev": ev,
+            "job": int(job_id),
+            "t": round(float(t_ms), 3),
+        }
+        record.update(fields)
+        self._buffer.append(json.dumps(record, sort_keys=True))
+        self._c_appends.inc()
+        if durable or len(self._buffer) >= self.fsync_batch:
+            self.flush()
+
+    # Convenience wrappers (the gateway's vocabulary).
+
+    def admit(self, job) -> None:
+        self.append(
+            EV_ADMIT,
+            job.job_id,
+            job.arrival_ms,
+            app=job.app.name,
+            scale=job.input_scale,
+        )
+
+    def hop(self, job, stage_index: int, t_ms: float) -> None:
+        self.append(EV_HOP, job.job_id, t_ms, stage=int(stage_index))
+
+    def retry(self, task, t_ms: float) -> None:
+        self.append(
+            EV_RETRY,
+            task.job.job_id,
+            t_ms,
+            stage=int(task.stage_index),
+            attempt=int(task.attempts),
+        )
+
+    def complete(self, job, t_ms: float) -> None:
+        self.append(EV_COMPLETE, job.job_id, t_ms)
+
+    def fail(self, job, t_ms: float, reason: Optional[str] = None) -> None:
+        self.append(EV_FAIL, job.job_id, t_ms, reason=reason)
+
+    def shed(self, job, t_ms: float, reason: Optional[str] = None) -> None:
+        self.append(EV_SHED, job.job_id, t_ms, reason=reason)
+
+    def flush(self) -> None:
+        """Write the buffer through and fsync the file."""
+        if self._closed or not self._buffer:
+            return
+        self._handle.write("\n".join(self._buffer) + "\n")
+        self._buffer.clear()
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._c_fsyncs.inc()
+
+    def drop_unflushed(self) -> int:
+        """Crash semantics: buffered-but-unfsynced records are lost.
+
+        Crash injection calls this so recovery only ever sees what a
+        real process death would have left on disk.  Returns the number
+        of records dropped.
+        """
+        dropped = len(self._buffer)
+        self._buffer.clear()
+        return dropped
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._handle.close()
+        self._closed = True
+
+    # -- read side ---------------------------------------------------------
+
+    @staticmethod
+    def read_records(path: PathLike) -> List[Dict]:
+        """Read every well-formed record from *path*, oldest first.
+
+        A truncated or corrupt **final** line is tolerated (the file was
+        being appended when the process died); corruption anywhere else
+        raises, because silently skipping mid-file records would turn a
+        storage fault into wrong exactly-once accounting.
+        """
+        path = pathlib.Path(path)
+        if not path.exists():
+            return []
+        lines = path.read_text(encoding="utf-8").splitlines()
+        records: List[Dict] = []
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn tail write: expected crash artifact
+                raise ValueError(
+                    f"{path}:{i + 1}: corrupt journal record mid-file"
+                )
+            if record.get("ev") in KNOWN_EVENTS:
+                records.append(record)
+        return records

@@ -17,7 +17,7 @@ same seed, which is what makes scaled-down sim-vs-live parity tight.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -74,13 +74,20 @@ class TraceReplayer:
     def __len__(self) -> int:
         return len(self._plan)
 
-    async def replay(self, gateway: Gateway, clock: ScaledClock) -> int:
+    async def replay(
+        self,
+        gateway: Union[Gateway, Callable[[], Gateway]],
+        clock: ScaledClock,
+    ) -> int:
         """Admit every planned arrival at its (scaled) wall time.
 
         Sleeps against absolute plan timestamps so drift never
-        accumulates.  Returns the number of arrivals offered (admitted
-        plus shed).
+        accumulates.  ``gateway`` may be a zero-arg callable resolved
+        per arrival — the runtime passes one so arrivals land on the
+        *current* gateway even after a crash replaces it mid-replay.
+        Returns the number of arrivals offered (admitted plus shed).
         """
+        resolve = gateway if callable(gateway) else (lambda: gateway)
         clock.start()
         self.replayed_ms = []
         for planned in self._plan:
@@ -88,6 +95,6 @@ class TraceReplayer:
             # The app and scale come from the plan (drawn eagerly from
             # the seeded stream), not the gateway's own rng, so a replay
             # is deterministic regardless of wall-clock jitter.
-            gateway.admit(app=planned.app, input_scale=planned.input_scale)
+            resolve().admit(app=planned.app, input_scale=planned.input_scale)
             self.replayed_ms.append(planned.time_ms)
         return len(self.replayed_ms)

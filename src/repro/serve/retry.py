@@ -146,12 +146,17 @@ class RetryManager:
         on_give_up: Callable[["Task", str], None],
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        journal=None,
     ) -> None:
         self.policy = policy
         self.clock = clock
         self.rng = rng
         self.on_give_up = on_give_up
         self.tracer = tracer
+        #: Optional write-ahead journal (``RequestJournal``): each
+        #: scheduled retry is recorded so recovery knows the attempt
+        #: count a requeued job had already burned.
+        self.journal = journal
         self.registry = registry or MetricsRegistry()
         self._c_scheduled = self.registry.counter("retry_scheduled_total")
         self._c_dead_lettered = self.registry.counter(
@@ -184,6 +189,8 @@ class RetryManager:
                 return
         self._c_scheduled.inc()
         self._g_pending.inc()
+        if self.journal is not None:
+            self.journal.retry(task, self.clock.now)
         if self.tracer is not None:
             # The one request-path event invisible to the job's latency
             # records: the planned backoff window before the retry.

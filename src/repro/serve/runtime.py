@@ -15,8 +15,12 @@ the simulator produces — one report path for both worlds.
 from __future__ import annotations
 
 import asyncio
+import logging
+import math
+import pathlib
+import signal
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -37,16 +41,28 @@ from repro.obs.trace import Tracer
 from repro.prediction.base import Predictor
 from repro.prediction.windowed import WindowedMaxSampler
 from repro.runtime.system import ClusterSpec, ServerlessSystem
+from repro.serve.checkpoint import CheckpointManager
 from repro.serve.clock import ScaledClock
 from repro.serve.config import ServeOptions
 from repro.serve.control import ControlLoop
 from repro.serve.faults import ChaosInjector
 from repro.serve.gateway import Gateway
+from repro.serve.journal import JOURNAL_BASENAME, RequestJournal
 from repro.serve.pool import WorkerPool, WorkFn
+from repro.serve.recovery import (
+    build_recovery_plan,
+    restore_governor,
+    restore_pool_sizes,
+    restore_sampler,
+    restore_store,
+)
 from repro.serve.replayer import TraceReplayer
 from repro.serve.retry import DeadLetterQueue, RetryManager
 from repro.traces.base import ArrivalTrace
+from repro.workflow.job import Task
 from repro.workloads.mixes import WorkloadMix
+
+logger = logging.getLogger(__name__)
 
 #: Hard ceiling on executor threads when sizing from cluster capacity.
 MAX_EXECUTOR_WORKERS = 512
@@ -110,6 +126,14 @@ class ServingRuntime:
         self.chaos: Optional[ChaosInjector] = None
         self.retry_manager: Optional[RetryManager] = None
         self.drain_completed: bool = False
+        # Durability plumbing (None unless options.journal_dir is set).
+        self.journal: Optional[RequestJournal] = None
+        self.checkpointer: Optional[CheckpointManager] = None
+        #: True when the run ended via SIGTERM/SIGINT/request_shutdown
+        #: instead of exhausting its trace.
+        self.interrupted: bool = False
+        self._stop_event: Optional[asyncio.Event] = None
+        self._signals_installed: List[signal.Signals] = []
 
     # -- wiring ------------------------------------------------------------
 
@@ -124,7 +148,7 @@ class ServingRuntime:
             memory_per_node_mb=self.cluster_spec.memory_per_node_mb,
             policy=config.placement,
         )
-        rng_apps = np.random.default_rng(self.seed)
+        self._rng_apps = np.random.default_rng(self.seed)
         rng_exec = np.random.default_rng(self.seed + 1)
         rng_retry = np.random.default_rng(self.seed + 2)
         self.sampler = WindowedMaxSampler(interval_ms=config.monitor_interval_ms)
@@ -134,18 +158,25 @@ class ServingRuntime:
         self.metrics = MetricsCollector(
             self.energy_meter, tracer=self.tracer, registry=self.registry
         )
+        # Durability layer: journal + checkpointer only exist when a
+        # journal dir is configured — with them off, every hot-path
+        # branch below collapses to the pre-durability code.
+        self.journal = None
+        self.checkpointer = None
+        if self.options.journal_dir:
+            directory = pathlib.Path(self.options.journal_dir)
+            self.journal = RequestJournal(
+                directory / JOURNAL_BASENAME,
+                fsync_batch=self.options.journal_fsync_batch,
+                registry=self.registry,
+            )
+            self.checkpointer = CheckpointManager(
+                directory,
+                interval_ms=self.options.checkpoint_interval_ms,
+                registry=self.registry,
+            )
         self.pools = {}
-        self.gateway = Gateway(
-            clock=self.clock,
-            pools=self.pools,
-            mix=self.mix,
-            metrics=self.metrics,
-            sampler=self.sampler,
-            rng=rng_apps,
-            max_pending=self.options.max_pending,
-            input_scale_sampler=self.input_scale_sampler,
-            shed_expired=self.options.shed_expired,
-        )
+        self.gateway = self._make_gateway()
         # Chaos + resilience wiring: the injector reuses the simulator's
         # fault models; the retry manager owns attempt budgets, backoff
         # and the dead-letter queue, and reports give-ups to the gateway
@@ -158,13 +189,17 @@ class ServingRuntime:
         cold_start = self.cold_start_model
         if self.chaos is not None:
             cold_start = self.chaos.wrap_cold_start(cold_start, self.clock)
+        # Pools and the retry layer call through the runtime's dispatch
+        # shims, not a bound gateway method: after a gateway crash the
+        # replacement takes over without rewiring every pool.
         self.retry_manager = RetryManager(
             policy=self.options.retry,
             clock=self.clock,
             rng=rng_retry,
-            on_give_up=self.gateway.on_task_failed,
+            on_give_up=self._dispatch_task_failed,
             registry=self.registry,
             tracer=self.tracer,
+            journal=self.journal,
         )
         for name in self.mix.function_names():
             svc = self._planner._service(name)
@@ -184,7 +219,7 @@ class ServingRuntime:
                 scheduling=config.scheduling,
                 cold_start=cold_start,
                 rng=rng_exec,
-                on_task_finished=self.gateway.on_task_finished,
+                on_task_finished=self._dispatch_task_finished,
                 spawn_on_demand=config.spawn_on_demand,
                 reap_exempt=config.static_pool,
                 delay_window_ms=config.monitor_interval_ms,
@@ -194,6 +229,31 @@ class ServingRuntime:
             )
         for pool in self.pools.values():
             pool.reclaim_callback = self._reclaim_idle_capacity
+        self.control = self._make_control()
+
+    def _make_gateway(self) -> Gateway:
+        """One gateway epoch (initial build and every crash recovery)."""
+        return Gateway(
+            clock=self.clock,
+            pools=self.pools,
+            mix=self.mix,
+            metrics=self.metrics,
+            sampler=self.sampler,
+            rng=self._rng_apps,
+            max_pending=self.options.max_pending,
+            input_scale_sampler=self.input_scale_sampler,
+            shed_expired=self.options.shed_expired,
+            journal=self.journal,
+        )
+
+    def _make_control(self) -> ControlLoop:
+        """One control-plane brain: scalers + governor + loop.
+
+        Called at build time and again after a control-loop crash —
+        the scalers and governor are brain state, so a crash loses and
+        rebuilds them (the checkpoint restores what it can).
+        """
+        config = self.config
         # Same guardrail semantics as the simulator: None when every
         # knob is at its off-default.
         governor = SpawnGovernor.from_config(
@@ -222,7 +282,12 @@ class ServingRuntime:
             if self.predictor is not None
             else None
         )
-        self.control = ControlLoop(
+        checkpoint = None
+        if self.checkpointer is not None:
+            checkpoint = lambda now_ms: self.checkpointer.maybe(  # noqa: E731
+                now_ms, self._snapshot
+            )
+        return ControlLoop(
             clock=self.clock,
             pools=self.pools,
             cluster=self.cluster,
@@ -232,7 +297,16 @@ class ServingRuntime:
             hpa=hpa,
             proactive=proactive,
             governor=governor,
+            checkpoint=checkpoint,
         )
+
+    # -- dispatch shims (stable across gateway epochs) ---------------------
+
+    def _dispatch_task_finished(self, task: Task) -> None:
+        self.gateway.on_task_finished(task)
+
+    def _dispatch_task_failed(self, task: Task, reason: str) -> None:
+        self.gateway.on_task_failed(task, reason)
 
     def _reclaim_idle_capacity(self) -> bool:
         """Free one idle worker cluster-wide under placement pressure."""
@@ -264,6 +338,189 @@ class ServingRuntime:
         for name, n in sizes.items():
             self.pools[name].prewarm(n)
 
+    # -- durability: snapshot, crash injection, recovery -------------------
+
+    def _snapshot(self, now_ms: float) -> Dict:
+        """The control-plane state a checkpoint preserves.
+
+        Request state is deliberately absent — the journal, not the
+        checkpoint, is authoritative for which jobs exist.
+        """
+        governor = self.control.governor if self.control is not None else None
+        governor_state = None
+        if governor is not None and math.isfinite(governor._last_spawn_ms):
+            governor_state = {"last_spawn_ms": governor._last_spawn_ms}
+        return {
+            "policy": self.config.name,
+            "seed": self.seed,
+            "t_ms": now_ms,
+            "pools": {
+                name: {"containers": pool.n_containers}
+                for name, pool in self.pools.items()
+            },
+            "sampler": {
+                "arrivals_ms": [float(t) for t in self.sampler._arrivals]
+            },
+            "governor": governor_state,
+            "store": self._planner.store.snapshot(),
+            "in_flight": self.gateway.in_flight if self.gateway else 0,
+        }
+
+    def _slo_ms_for_app(self, app_name: str) -> Optional[float]:
+        for app in self.mix.applications:
+            if app.name == app_name:
+                return app.slo_ms
+        return None
+
+    def _start_control_plane_crashes(self) -> Optional[asyncio.Task]:
+        """Schedule the configured gateway/control-loop crashes."""
+        plan = self.options.faults.control_plane_crashes
+        if not plan:
+            return None
+
+        async def _crash() -> None:
+            for kind, at_ms in plan:
+                await self.clock.sleep_until_ms(at_ms)
+                if kind == "gateway":
+                    self._crash_gateway()
+                else:
+                    await self._crash_control()
+
+        return asyncio.get_running_loop().create_task(
+            _crash(), name="control-plane-crash"
+        )
+
+    def _purge_pools(self) -> int:
+        """Drop every queued-but-not-executing task (crash semantics).
+
+        Executing slots are left alone: their worker threads are still
+        running and must be allowed to finish cleanly — the *new*
+        gateway's identity check then drops their orphaned completions,
+        exactly like a restarted process ignoring responses addressed
+        to its predecessor.
+        """
+        purged = 0
+        for pool in self.pools.values():
+            while pool.queue:
+                pool.queue.pop()
+                purged += 1
+            pool._waiting.clear()
+            for slot in pool.containers:
+                if slot.local_queue:
+                    purged += len(slot.local_queue)
+                    slot.local_queue.clear()
+        if purged:
+            self.registry.counter("control_plane_purged_tasks_total").inc(purged)
+        return purged
+
+    def _crash_gateway(self) -> None:
+        """Kill the gateway in place, then restore from durable state."""
+        now = self.clock.now
+        self.gateway.dead = True
+        dropped = self.journal.drop_unflushed() if self.journal else 0
+        purged = self._purge_pools()
+        self.registry.counter("control_plane_crashes_total").inc()
+        logger.warning(
+            "gateway crash injected at t=%.0fms: %d queued tasks purged, "
+            "%d unflushed journal records lost",
+            now, purged, dropped,
+        )
+        self._recover_gateway(now)
+
+    def _recover_gateway(self, now_ms: float) -> None:
+        """Rebuild the gateway from checkpoint + journal tail."""
+        checkpoint = (
+            self.checkpointer.load_latest() if self.checkpointer else None
+        )
+        self.gateway = self._make_gateway()
+        self.gateway.reset_in_flight()
+        if checkpoint is not None:
+            restore_pool_sizes(self.pools, checkpoint)
+            restore_sampler(self.sampler, checkpoint)
+            restore_store(self._planner.store, checkpoint)
+        records = RequestJournal.read_records(self.journal.path)
+        plan = build_recovery_plan(records, now_ms, self._slo_ms_for_app)
+        for entry in plan.requeue:
+            self.gateway.requeue_recovered(entry)
+        for entry in plan.expired:
+            self.gateway.expire_recovered(entry)
+        self.registry.counter("recoveries_total").inc()
+        if plan.requeue:
+            self.registry.counter("jobs_requeued_on_recovery").inc(
+                len(plan.requeue)
+            )
+        if plan.deduped:
+            self.registry.counter("jobs_deduped_on_recovery").inc(
+                len(plan.deduped)
+            )
+        # Fresh post-recovery snapshot: a second crash must restore to
+        # this epoch's state, not the pre-crash one.
+        if self.checkpointer is not None:
+            self.checkpointer.save(self._snapshot(now_ms), now_ms)
+        logger.warning(
+            "gateway recovered at t=%.0fms: %d jobs requeued, %d expired, "
+            "%d already terminal (deduped)",
+            now_ms, len(plan.requeue), len(plan.expired), len(plan.deduped),
+        )
+
+    async def _crash_control(self) -> None:
+        """Kill and rebuild the control loop (scalers, governor)."""
+        now = self.clock.now
+        old = self.control
+        await old.stop()
+        self.registry.counter("control_plane_crashes_total").inc()
+        checkpoint = (
+            self.checkpointer.load_latest() if self.checkpointer else None
+        )
+        self.control = self._make_control()
+        # The tick/error/respawn tallies belong to the measurement
+        # harness, not the brain: carry them so run totals stay whole.
+        self.control.ticks = old.ticks
+        self.control.tick_errors = old.tick_errors
+        self.control.supervised_respawns = old.supervised_respawns
+        if checkpoint is not None:
+            restore_governor(self.control.governor, checkpoint)
+            restore_sampler(self.sampler, checkpoint)
+        self.control.start()
+        self.registry.counter("recoveries_total").inc()
+        logger.warning(
+            "control loop crashed and recovered at t=%.0fms "
+            "(checkpoint age: %s)",
+            now,
+            "none"
+            if checkpoint is None
+            else f"{now - float(checkpoint.get('t_ms', now)):.0f}ms",
+        )
+
+    # -- graceful shutdown -------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Ask the run to stop: finish nothing new, drain, report.
+
+        Safe to call from a signal handler or another task; idempotent.
+        """
+        if self._stop_event is not None and not self._stop_event.is_set():
+            self._stop_event.set()
+
+    def _install_signal_handlers(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._signals_installed = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-main thread or a platform without signal support:
+                # graceful shutdown stays available via request_shutdown.
+                continue
+            self._signals_installed.append(sig)
+
+    def _remove_signal_handlers(self, loop: asyncio.AbstractEventLoop) -> None:
+        for sig in self._signals_installed:
+            try:
+                loop.remove_signal_handler(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        self._signals_installed = []
+
     # -- execution ---------------------------------------------------------
 
     async def serve(self, trace: ArrivalTrace) -> RunResult:
@@ -272,31 +529,74 @@ class ServingRuntime:
             max_workers=self._executor_workers(),
             thread_name_prefix="repro-serve",
         )
+        loop = asyncio.get_running_loop()
+        self.interrupted = False
         try:
             self._build(executor)
             assert self.clock is not None and self.gateway is not None
             self.clock.start()
             self._prewarm(trace)
+            # Opening checkpoint: a crash before the first control tick
+            # must still find the post-prewarm pool sizes on disk.
+            if self.checkpointer is not None:
+                self.checkpointer.maybe(self.clock.now, self._snapshot)
             self.control.start()
             killer = self._start_worker_killer()
             fault_replayer = self._start_node_fault_schedule()
+            crasher = self._start_control_plane_crashes()
             self.replayer = TraceReplayer(
                 trace,
                 self.mix,
                 seed=self.seed,
                 input_scale_sampler=self.input_scale_sampler,
             )
-            await self.replayer.replay(self.gateway, self.clock)
+            # The replayer resolves the gateway per arrival: a crash
+            # mid-replay swaps the epoch under it transparently.
+            self._stop_event = asyncio.Event()
+            self._install_signal_handlers(loop)
+            replay_task = loop.create_task(
+                self.replayer.replay(lambda: self.gateway, self.clock),
+                name="trace-replay",
+            )
+            stop_task = loop.create_task(
+                self._stop_event.wait(), name="shutdown-wait"
+            )
+            done, _ = await asyncio.wait(
+                {replay_task, stop_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if replay_task in done:
+                stop_task.cancel()
+                await replay_task  # propagate replay errors, if any
+            else:
+                # SIGTERM/SIGINT (or request_shutdown): stop offering
+                # load, then drain what is in flight under the grace
+                # budget and report honestly — exit 0, not a stacktrace.
+                self.interrupted = True
+                replay_task.cancel()
+                try:
+                    await replay_task
+                except asyncio.CancelledError:
+                    pass
+                logger.warning(
+                    "shutdown requested at t=%.0fms: %d arrivals replayed "
+                    "of %d planned; draining",
+                    self.clock.now,
+                    len(self.replayer.replayed_ms),
+                    len(self.replayer),
+                )
             # Graceful drain: let in-flight jobs finish (bounded), with
             # the control loop still scaling/sampling, as in the sim.
+            drain_ms = self.options.drain_timeout_ms
+            if self.interrupted and self.options.drain_grace_ms is not None:
+                drain_ms = self.options.drain_grace_ms
             self.drain_completed = await self.gateway.drained(
-                timeout_ms=self.options.drain_timeout_ms
+                timeout_ms=drain_ms
             )
             await self.control.stop()
-            if killer is not None and not killer.done():
-                killer.cancel()
-            if fault_replayer is not None and not fault_replayer.done():
-                fault_replayer.cancel()
+            for task in (killer, fault_replayer, crasher):
+                if task is not None and not task.done():
+                    task.cancel()
             # The simulator's drain always reaches a monitor tick
             # (virtual time jumps to it); a short live run can finish
             # before the first one.  One closing tick keeps the
@@ -304,7 +604,18 @@ class ServingRuntime:
             self.control.tick(self.clock.now)
             for pool in self.pools.values():
                 await pool.shutdown()
+            # Durable epilogue: one final snapshot + a flushed, closed
+            # journal, so a post-mortem (or the conservation check in
+            # the robustness study) sees the complete record.
+            if self.checkpointer is not None:
+                self.checkpointer.save(
+                    self._snapshot(self.clock.now), self.clock.now
+                )
+            if self.journal is not None:
+                self.journal.close()
         finally:
+            self._remove_signal_handlers(loop)
+            self._stop_event = None
             executor.shutdown(wait=True)
         return self.metrics.finalize(
             policy=self.config.name,

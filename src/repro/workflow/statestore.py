@@ -88,3 +88,31 @@ class StateStore:
     def mean_access_latency_ms(self) -> float:
         total = self.reads + self.writes
         return self.total_latency_ms / total if total else 0.0
+
+    # -- durability --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serialisable copy of every collection plus the access
+        tallies, for control-plane checkpoints.  Document keys are
+        stringified (JSON object keys are strings); :meth:`restore`
+        keeps them as strings, which is fine for recovery consumers —
+        they only read whole collections back."""
+        return {
+            "collections": {
+                name: {str(key): dict(doc) for key, doc in docs.items()}
+                for name, docs in self._collections.items()
+            },
+            "reads": self.reads,
+            "writes": self.writes,
+            "total_latency_ms": self.total_latency_ms,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Replace this store's contents with a :meth:`snapshot`."""
+        self._collections = {
+            name: {key: dict(doc) for key, doc in docs.items()}
+            for name, docs in state.get("collections", {}).items()
+        }
+        self.reads = int(state.get("reads", 0))
+        self.writes = int(state.get("writes", 0))
+        self.total_latency_ms = float(state.get("total_latency_ms", 0.0))
