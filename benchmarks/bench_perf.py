@@ -5,9 +5,10 @@ this is a standalone script that measures the *simulator's own* speed
 and writes the numbers to ``BENCH_sim.json`` so regressions show up in
 review diffs and CI can assert a floor:
 
-* engine events/sec on the reference workload, with the bulk-arrival
-  fast path on and off (the legacy per-arrival injection), plus a
-  parity check that both paths produce the same summary;
+* engine events/sec on the reference workload for all three engines —
+  ``vector`` (flat-array batch engine), ``fast`` (bulk-arrival cursor)
+  and ``legacy`` (per-arrival injection) — plus a parity check that
+  every engine produces the same summary;
 * EventQueue micro-throughput under push/pop and cancel-heavy churn
   (exercising lazy-cancellation compaction);
 * experiment-runner wall-clock for a seeded repeat batch run serially
@@ -23,6 +24,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import tempfile
@@ -47,7 +49,7 @@ from repro.workloads import get_mix  # noqa: E402
 PRE_FASTPATH_BASELINE_EPS = 47_556.0
 
 
-def _reference_run(fast_path: bool, rate: float, duration: float):
+def _reference_run(engine: str, rate: float, duration: float):
     """One reference-workload run; returns (summary, events, wall_s)."""
     trace = step_poisson_trace(rate, duration, variation=0.4, seed=5)
     system = ServerlessSystem(
@@ -55,7 +57,7 @@ def _reference_run(fast_path: bool, rate: float, duration: float):
         mix=get_mix("heavy"),
         cluster_spec=ClusterSpec(n_nodes=8),
         seed=5,
-        fast_path=fast_path,
+        engine=engine,
     )
     started = time.perf_counter()
     result = system.run(trace)
@@ -64,18 +66,38 @@ def _reference_run(fast_path: bool, rate: float, duration: float):
 
 
 def bench_engine(rate: float, duration: float) -> dict:
-    fast_summary, fast_events, fast_wall = _reference_run(True, rate, duration)
+    # Warm-up: touch every engine once on a short run so the timed
+    # passes don't pay one-off costs (lazy imports, numpy dispatch
+    # caches, branch-predictor cold start).
+    for engine in ("vector", "fast", "legacy"):
+        _reference_run(engine, 10.0, 10.0)
+    vec_summary, vec_events, vec_wall = _reference_run(
+        "vector", rate, duration
+    )
+    fast_summary, fast_events, fast_wall = _reference_run(
+        "fast", rate, duration
+    )
     legacy_summary, legacy_events, legacy_wall = _reference_run(
-        False, rate, duration
+        "legacy", rate, duration
     )
     if fast_summary != legacy_summary:
         raise AssertionError(
             "fast-path summary diverged from legacy arrival injection"
         )
+    if vec_summary != legacy_summary:
+        raise AssertionError(
+            "vector-engine summary diverged from the event-loop engines"
+        )
+    legacy_eps = legacy_events / legacy_wall
     return {
         "workload": {
             "policy": "rscale", "mix": "heavy", "trace": "step-poisson",
             "rate_rps": rate, "duration_s": duration, "nodes": 8, "seed": 5,
+        },
+        "vector": {
+            "events": vec_events,
+            "wall_s": round(vec_wall, 4),
+            "events_per_sec": round(vec_events / vec_wall, 1),
         },
         "fast": {
             "events": fast_events,
@@ -88,7 +110,10 @@ def bench_engine(rate: float, duration: float) -> dict:
             "events_per_sec": round(legacy_events / legacy_wall, 1),
         },
         "fast_vs_legacy_speedup": round(
-            (fast_events / fast_wall) / (legacy_events / legacy_wall), 3
+            (fast_events / fast_wall) / legacy_eps, 3
+        ),
+        "vector_vs_legacy_speedup": round(
+            (vec_events / vec_wall) / legacy_eps, 3
         ),
         "parity": True,
     }
@@ -183,7 +208,7 @@ def bench_runner(workers: int, rate: float, duration: float,
             raise AssertionError("cache replay diverged from cold run")
         hits, misses = warm.cache_hits, warm.cache_misses
 
-    return {
+    out = {
         "trials": repeats,
         "workers": workers,
         "serial_wall_s": round(serial_wall, 3),
@@ -194,6 +219,14 @@ def bench_runner(workers: int, rate: float, duration: float,
         "warm_cache_misses": misses,
         "determinism": "serial == parallel == cache replay",
     }
+    cpus = os.cpu_count() or 1
+    if cpus < workers:
+        out["note"] = (
+            f"measured on a {cpus}-CPU machine: {workers} workers cannot "
+            f"run concurrently, so parallel_speedup reflects pool "
+            f"overhead, not the scaling achievable on multi-core hosts"
+        )
+    return out
 
 
 def main(argv=None) -> int:
@@ -204,6 +237,14 @@ def main(argv=None) -> int:
                         help="worker processes for the runner comparison")
     parser.add_argument("--min-eps", type=float, default=0.0,
                         help="fail if fast-path events/sec drops below this")
+    parser.add_argument("--min-vector-eps", type=float, default=0.0,
+                        help="fail if vector-engine events/sec drops below "
+                             "this")
+    parser.add_argument("--min-parallel-speedup", type=float, default=0.0,
+                        help="fail if the runner's parallel speedup drops "
+                             "below this (only enforced when the machine "
+                             "has at least 2 CPUs; a 1-core box cannot "
+                             "demonstrate parallelism)")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_sim.json"),
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
@@ -219,11 +260,15 @@ def main(argv=None) -> int:
         "bench": "simulator performance harness",
         "mode": "quick" if args.quick else "full",
         "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
     }
 
-    print("engine throughput (fast vs legacy arrival injection)...")
+    print("engine throughput (vector vs fast vs legacy)...")
     report["engine"] = _with_baseline(bench_engine(rate, duration), args.quick)
     eng = report["engine"]
+    print(f"  vector: {eng['vector']['events_per_sec']:>10,.0f} events/s "
+          f"({eng['vector']['events']} events in {eng['vector']['wall_s']}s)"
+          f"  -> {eng['vector_vs_legacy_speedup']}x legacy")
     print(f"  fast:   {eng['fast']['events_per_sec']:>10,.0f} events/s "
           f"({eng['fast']['events']} events in {eng['fast']['wall_s']}s)")
     print(f"  legacy: {eng['legacy_injection']['events_per_sec']:>10,.0f} "
@@ -250,11 +295,28 @@ def main(argv=None) -> int:
     out_path = atomic_write_json(args.out, report)
     print(f"wrote {out_path}")
 
+    failed = False
     if args.min_eps and eng["fast"]["events_per_sec"] < args.min_eps:
         print(f"FAIL: fast-path {eng['fast']['events_per_sec']:,.0f} "
               f"events/s below floor {args.min_eps:,.0f}", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if (args.min_vector_eps
+            and eng["vector"]["events_per_sec"] < args.min_vector_eps):
+        print(f"FAIL: vector engine {eng['vector']['events_per_sec']:,.0f} "
+              f"events/s below floor {args.min_vector_eps:,.0f}",
+              file=sys.stderr)
+        failed = True
+    cpus = report["cpu_count"] or 1
+    if args.min_parallel_speedup:
+        if cpus < 2:
+            print(f"note: --min-parallel-speedup skipped on a "
+                  f"{cpus}-CPU machine (no parallelism to measure)")
+        elif rn["parallel_speedup"] < args.min_parallel_speedup:
+            print(f"FAIL: parallel speedup {rn['parallel_speedup']}x "
+                  f"below floor {args.min_parallel_speedup}x",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.core.policies import EXTENDED_POLICY_NAMES, make_policy_config
 from repro.experiments import format_table, normalize
 from repro.experiments.predictors import pretrained_predictor
 from repro.runtime.system import ClusterSpec, ServerlessSystem
+from repro.sim.engine import ENGINES
 from repro.traces import TRACE_KINDS, make_trace
 from repro.traces.base import ArrivalTrace
 from repro.workloads import APPLICATIONS, MICROSERVICES, WORKLOAD_MIXES, get_mix
@@ -55,7 +56,8 @@ _RESULT_HEADERS = ["policy", "SLO viol", "median(ms)", "P99(ms)",
 def _run_one(policy: str, mix_name: str, trace_kind: str, rate: float,
              duration: float, seed: int, nodes: int, tracer=None,
              overrides=None, shed_expired=False, node_fault_schedule=None,
-             diverge_at=None, diverge_factor=25.0, control_blackout=None):
+             diverge_at=None, diverge_factor=25.0, control_blackout=None,
+             engine=None):
     config = make_policy_config(policy, idle_timeout_ms=60_000.0,
                                 **(overrides or {}))
     predictor = None
@@ -81,6 +83,7 @@ def _run_one(policy: str, mix_name: str, trace_kind: str, rate: float,
         shed_expired=shed_expired,
         node_fault_schedule=node_fault_schedule,
         control_blackout=control_blackout,
+        engine=engine,
     )
     trace = _make_trace(trace_kind, rate, duration, seed)
     return system.run(trace), system
@@ -211,7 +214,8 @@ def _run_batch(args) -> int:
               "--repeats/--workers/--cache-dir (trials may run in other "
               "processes or come from cache)", file=sys.stderr)
     common = dict(mix=args.mix, trace_kind=args.trace, rate_rps=args.rate,
-                  duration_s=args.duration, nodes=args.nodes)
+                  duration_s=args.duration, nodes=args.nodes,
+                  engine=getattr(args, "engine", None))
     common.update(_guard_overrides(args))
     faults = {}
     if args.diverge_at is not None:
@@ -282,6 +286,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         diverge_at=args.diverge_at,
         diverge_factor=args.diverge_factor,
         control_blackout=_parse_blackout(args.control_blackout),
+        engine=getattr(args, "engine", None),
     )
     print(format_table(
         _RESULT_HEADERS, [_result_row(args.policy, result)],
@@ -685,6 +690,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs(run_p)
     add_parallel(run_p)
     add_guardrails(run_p)
+    run_p.add_argument("--engine", choices=list(ENGINES), default=None,
+                       help="simulation engine: 'legacy' (per-arrival "
+                            "heap events), 'fast' (stream cursor + "
+                            "coalesced ticks, the default) or 'vector' "
+                            "(flat-array batch engine; bit-identical "
+                            "results, several times faster on large "
+                            "traces)")
     run_p.add_argument("--repeats", type=int, default=1,
                        help="repeat across this many seeds derived from "
                             "--seed (SeedSequence.spawn) and aggregate")

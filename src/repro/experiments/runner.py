@@ -29,16 +29,27 @@ import json
 import os
 import pathlib
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
-from repro.core.policies import make_policy_config
-from repro.metrics.collector import RunResult
-from repro.runtime.system import ClusterSpec, ServerlessSystem
-from repro.traces.factory import make_trace
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.collector import RunResult
+
+# The simulator stack (policies, runtime, traces) is imported lazily
+# inside the functions that need it: a pool worker that only replays
+# cached summaries — and the parent process while it fans out — should
+# not pay the full import graph up front.
 
 #: Bump when the summary format or run semantics change incompatibly;
 #: invalidates every existing cache entry.
@@ -81,6 +92,12 @@ class TrialSpec:
     overrides: Overrides = ()
     faults: Overrides = ()
     shed_expired: bool = False
+    #: Simulation engine ("legacy" | "fast" | "vector" | None for the
+    #: system default).  Deliberately NOT part of :meth:`canonical` —
+    #: every engine produces a bit-identical summary (enforced by
+    #: ``tests/test_vector_parity.py``), so trials may share cache
+    #: entries across engines.
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -145,7 +162,11 @@ def run_trial(spec: TrialSpec) -> Dict[str, float]:
     return _run_trial_result(spec).summary()
 
 
-def _run_trial_result(spec: TrialSpec) -> RunResult:
+def _run_trial_result(spec: TrialSpec) -> "RunResult":
+    from repro.core.policies import make_policy_config
+    from repro.runtime.system import ClusterSpec, ServerlessSystem
+    from repro.traces.factory import cached_trace
+
     overrides = dict(spec.overrides)
     overrides.setdefault("idle_timeout_ms", 60_000.0)
     config = make_policy_config(spec.policy, **overrides)
@@ -199,9 +220,10 @@ def _run_trial_result(spec: TrialSpec) -> RunResult:
         shed_expired=spec.shed_expired,
         node_fault_schedule=schedule,
         control_blackout=blackout,
+        engine=spec.engine,
     )
-    trace = make_trace(spec.trace_kind, spec.rate_rps, spec.duration_s,
-                       spec.seed)
+    trace = cached_trace(spec.trace_kind, spec.rate_rps, spec.duration_s,
+                         spec.seed)
     return system.run(trace)
 
 
@@ -214,6 +236,26 @@ def _get_mix(name: str):
 def _execute_trial(spec: TrialSpec) -> Dict[str, float]:
     """Module-level worker entry point (must be picklable)."""
     return run_trial(spec)
+
+
+def _execute_trial_chunk(
+    specs: Sequence[TrialSpec],
+) -> List[Tuple[Dict[str, float], float]]:
+    """Run a batch of trials in one worker task.
+
+    Returns ``(summary, wall_s)`` per spec, in the chunk's own order.
+    One task per *chunk* instead of one per *trial* is the fix for the
+    pool regression: submitting N tiny futures serialized N specs, paid
+    N rounds of executor IPC and left the parent deserializing result
+    dicts on the critical path between submissions.  With chunks there
+    are exactly ``workers`` futures per batch regardless of N.
+    """
+    out: List[Tuple[Dict[str, float], float]] = []
+    for spec in specs:
+        started = time.perf_counter()
+        summary = run_trial(spec)
+        out.append((summary, time.perf_counter() - started))
+    return out
 
 
 @dataclass
@@ -295,28 +337,42 @@ class ExperimentRunner:
         pending: Sequence[int],
         results: List[Optional[TrialResult]],
     ) -> None:
-        started: Dict[int, float] = {}
+        from repro.traces.factory import prime_trace_cache
+
+        # Build every distinct trace once in the parent before the pool
+        # forks: workers inherit the arrival arrays copy-on-write
+        # instead of regenerating them per trial.  (On spawn-based
+        # platforms this is merely a no-op warm-up for the parent.)
+        prime_trace_cache(
+            (
+                specs[idx].trace_kind,
+                specs[idx].rate_rps,
+                specs[idx].duration_s,
+                specs[idx].seed,
+            )
+            for idx in pending
+        )
+        # Round-robin assignment keeps chunk workloads balanced when
+        # pending trials are sorted by size (sweeps usually are), and
+        # caps the future count at ``workers`` — the per-future
+        # submit/pickle/collect overhead was the parallel-path
+        # regression this replaces.
+        n_chunks = min(self.workers, len(pending))
+        chunks = [list(pending[i::n_chunks]) for i in range(n_chunks)]
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = {}
-            for idx in pending:
-                started[idx] = time.perf_counter()
-                futures[pool.submit(_execute_trial, specs[idx])] = idx
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in done:
-                    idx = futures[future]
-                    summary = future.result()
+            futures = {
+                pool.submit(
+                    _execute_trial_chunk, [specs[idx] for idx in chunk]
+                ): chunk
+                for chunk in chunks
+            }
+            for future, chunk in futures.items():
+                for idx, (summary, wall) in zip(chunk, future.result()):
                     spec = specs[idx]
                     key = config_hash(spec)
                     self._store(key, spec, summary)
                     results[idx] = TrialResult(
-                        spec=spec,
-                        summary=summary,
-                        key=key,
-                        wall_s=time.perf_counter() - started[idx],
+                        spec=spec, summary=summary, key=key, wall_s=wall
                     )
 
     def _cache_path(self, key: str) -> Optional[pathlib.Path]:

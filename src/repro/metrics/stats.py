@@ -14,18 +14,36 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 
+def _finite_samples(arr: np.ndarray) -> np.ndarray:
+    """Drop NaNs from a sample array.
+
+    NaN latencies (a predictor that diverged to NaN, a metrics bug
+    upstream) used to poison every percentile to NaN — ``np.percentile``
+    propagates them — which then serialized as ``null`` in summary JSON
+    and broke downstream comparisons.  Quantiles of the *observed*
+    values are the meaningful statistic, so NaNs are excluded.  The
+    filter is gated on an explicit ``isnan`` check: NaN-free inputs
+    (the overwhelmingly common case) take the exact same code path and
+    produce bit-identical results to before.
+    """
+    if arr.size and np.isnan(arr).any():
+        return arr[~np.isnan(arr)]
+    return arr
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """q-th percentile (q in [0, 100]) with linear interpolation.
 
-    Returns 0.0 for empty input — convenient for zero-job corner cases
-    in reports.  For several percentiles of one sample use
+    Returns 0.0 for empty (or all-NaN) input — convenient for zero-job
+    corner cases in reports.  A single sample is its own percentile for
+    every q.  For several percentiles of one sample use
     :func:`quantiles` (single pass) instead of repeated calls.
     """
-    arr = np.asarray(values, dtype=float)
-    if arr.size == 0:
-        return 0.0
     if not 0.0 <= q <= 100.0:
         raise ValueError("q must be within [0, 100]")
+    arr = _finite_samples(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        return 0.0
     return float(np.percentile(arr, q))
 
 
@@ -38,7 +56,7 @@ def quantiles(values: Sequence[float], qs: Sequence[float]) -> np.ndarray:
     qs_arr = np.asarray(qs, dtype=float)
     if np.any((qs_arr < 0.0) | (qs_arr > 100.0)):
         raise ValueError("q must be within [0, 100]")
-    arr = np.asarray(values, dtype=float)
+    arr = _finite_samples(np.asarray(values, dtype=float))
     if arr.size == 0:
         return np.zeros(qs_arr.shape)
     return np.percentile(arr, qs_arr)
@@ -54,6 +72,9 @@ def sorted_quantiles(sorted_values: np.ndarray, qs: Sequence[float]) -> np.ndarr
     qs_arr = np.asarray(qs, dtype=float)
     if np.any((qs_arr < 0.0) | (qs_arr > 100.0)):
         raise ValueError("q must be within [0, 100]")
+    # NaNs sort to the tail, so after the gated drop the array is still
+    # sorted and the interpolation below stays valid.
+    arr = _finite_samples(arr)
     if arr.size == 0:
         return np.zeros(qs_arr.shape)
     pos = qs_arr / 100.0 * (arr.size - 1)
@@ -78,7 +99,7 @@ def summarize_latencies(
     One pass over the data: the three percentiles come from a single
     partition (or pure interpolation when ``presorted``).
     """
-    arr = np.asarray(latencies_ms, dtype=float)
+    arr = _finite_samples(np.asarray(latencies_ms, dtype=float))
     if arr.size == 0:
         return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
     if presorted:

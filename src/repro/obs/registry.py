@@ -144,6 +144,38 @@ class Histogram:
         # per completed job).
         self.bucket_counts[bisect.bisect_left(self.edges, value)] += 1
 
+    def observe_many(self, values) -> None:
+        """Observe a batch of values, bit-identical to observing them
+        one by one in order.
+
+        The bucket counts come from one vectorized ``searchsorted`` +
+        ``bincount`` pass; the running ``sum`` still accumulates
+        sequentially in Python floats (summation order is part of the
+        histogram's exported state, so a pairwise numpy sum would
+        diverge in the last bits).  Used by the vector engine's
+        finalize, which feeds whole runs at once.
+        """
+        import numpy as _np  # local: registry stays import-light
+
+        arr = _np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return
+        self.count += int(arr.size)
+        total = self.sum
+        for v in arr.tolist():
+            total += v
+        self.sum = total
+        lo = float(arr.min())
+        hi = float(arr.max())
+        self.min = lo if self.min is None else min(self.min, lo)
+        self.max = hi if self.max is None else max(self.max, hi)
+        idx = _np.searchsorted(self.edges, arr, side="left")
+        counts = _np.bincount(idx, minlength=len(self.edges) + 1)
+        buckets = self.bucket_counts
+        for i, extra in enumerate(counts.tolist()):
+            if extra:
+                buckets[i] += extra
+
     @property
     def value(self) -> float:
         """The count, so registries can report histograms uniformly."""

@@ -44,7 +44,12 @@ from repro.prediction.base import Predictor
 from repro.prediction.classical import EWMAPredictor, MovingWindowAveragePredictor
 from repro.prediction.guarded import GuardedPredictor
 from repro.prediction.windowed import WindowedMaxSampler
-from repro.sim.engine import Simulator
+from repro.sim.engine import (
+    ENGINE_LEGACY,
+    ENGINE_VECTOR,
+    Simulator,
+    resolve_engine,
+)
 from repro.sim.process import CoalescedTicker, PeriodicProcess, TickerSubscription
 from repro.traces.base import ArrivalTrace
 from repro.workflow.job import Job, Task
@@ -95,12 +100,19 @@ class ServerlessSystem:
         shed_expired: bool = False,
         node_fault_schedule: Optional[NodeFaultSchedule] = None,
         control_blackout: Optional[ControlPlaneBlackout] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.config = config
         self.mix = mix
         self.cluster_spec = cluster_spec
         self.seed = seed
         self.drain_ms = drain_ms
+        #: Concrete engine driving run(): "legacy", "fast" or "vector"
+        #: (DESIGN.md section 13).  None resolves from ``fast_path`` so
+        #: existing call sites keep their exact behavior.
+        self.engine = resolve_engine(engine, fast_path)
+        if engine is not None:
+            fast_path = self.engine != ENGINE_LEGACY
         #: Optional request-span tracer.  The simulator and the live
         #: runtime both record spans through the metrics collector, so
         #: either path emits the identical span schema.
@@ -476,6 +488,12 @@ class ServerlessSystem:
         interval) the monitor body shares that coalesced timer instead
         of owning a private :class:`PeriodicProcess` — one heap entry
         per interval for any number of co-attached systems."""
+        if self.engine == ENGINE_VECTOR:
+            from repro.runtime.vector import VectorEngineUnsupported
+
+            raise VectorEngineUnsupported(
+                "the vector engine drives its own run loop and cannot "
+                "attach to a shared Simulator; use engine='fast'")
         self._build(sim)
         self._trace_name = trace.name
         if self.fast_path:
@@ -569,6 +587,10 @@ class ServerlessSystem:
 
     def run(self, trace: ArrivalTrace) -> RunResult:
         """Simulate *trace* end to end and return the metrics."""
+        if self.engine == ENGINE_VECTOR:
+            from repro.runtime.vector import run_vector
+
+            return run_vector(self, trace)
         sim = Simulator()
         monitor = self.attach(sim, trace)
         horizon = trace.duration_ms + 1.0
@@ -598,6 +620,7 @@ def run_policy(
     shed_expired: bool = False,
     node_fault_schedule: Optional[NodeFaultSchedule] = None,
     control_blackout: Optional[ControlPlaneBlackout] = None,
+    engine: Optional[str] = None,
     **config_overrides,
 ) -> RunResult:
     """Convenience one-call runner used by examples and benches.
@@ -623,5 +646,6 @@ def run_policy(
         shed_expired=shed_expired,
         node_fault_schedule=node_fault_schedule,
         control_blackout=control_blackout,
+        engine=engine,
     )
     return system.run(trace)

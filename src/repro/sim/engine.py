@@ -377,3 +377,52 @@ def run_simulation(setup: Callable[[Simulator], Any], until: float) -> Simulator
     setup(sim)
     sim.run(until=until)
     return sim
+
+
+# --------------------------------------------------------------------------
+# Engine selection (DESIGN.md section 13)
+#
+# Three interchangeable engines drive a run:
+#   * "legacy" — per-arrival event injection (the original loop);
+#   * "fast"   — same loop with the bulk-arrival stream cursor (default);
+#   * "vector" — the SoA batch engine in repro.runtime.vector, which
+#     replaces the Simulator entirely with a flat tuple heap and an
+#     epoch-driven run loop.
+# All three produce bit-identical RunResult summaries (asserted by
+# tests/test_vector_parity.py).
+
+ENGINE_LEGACY = "legacy"
+ENGINE_FAST = "fast"
+ENGINE_VECTOR = "vector"
+ENGINES = (ENGINE_LEGACY, ENGINE_FAST, ENGINE_VECTOR)
+
+
+def resolve_engine(engine: Optional[str], fast_path: bool = True) -> str:
+    """Map an ``engine=`` override (or None) to a concrete engine name."""
+    if engine is None:
+        return ENGINE_FAST if fast_path else ENGINE_LEGACY
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+class FlatClock:
+    """Minimal read-only ``Simulator`` facade for the vector engine.
+
+    The vector engine has no :class:`Simulator`; after a run it installs
+    one of these as ``system.sim`` so downstream consumers (the perf
+    harness, result finalization) can keep reading ``sim.now`` and
+    ``sim.events_executed`` regardless of which engine ran.
+    """
+
+    __slots__ = ("_now", "events_executed")
+
+    def __init__(self, now: float = 0.0, events_executed: int = 0) -> None:
+        self._now = now
+        self.events_executed = events_executed
+
+    @property
+    def now(self) -> float:
+        return self._now

@@ -9,6 +9,8 @@ replay the identical arrival process.
 
 from __future__ import annotations
 
+from typing import Dict, Iterable, Tuple
+
 from repro.traces.base import ArrivalTrace
 from repro.traces.poisson import poisson_trace, step_poisson_trace
 from repro.traces.wiki import wiki_trace
@@ -16,6 +18,14 @@ from repro.traces.wits import wits_trace
 
 #: Trace kinds accepted by :func:`make_trace` (and the CLI ``--trace``).
 TRACE_KINDS = ("poisson", "step-poisson", "wiki", "wits")
+
+TraceKey = Tuple[str, float, float, int]
+
+#: Process-local memo for :func:`cached_trace`.  Bounded so a long
+#: sweep over many distinct (rate, seed) points cannot grow without
+#: limit; 128 entries comfortably covers one experiment batch.
+_TRACE_CACHE: Dict[TraceKey, ArrivalTrace] = {}
+_TRACE_CACHE_MAX = 128
 
 
 def make_trace(
@@ -36,3 +46,41 @@ def make_trace(
         return wits_trace(avg_rps=rate_rps, peak_rps=rate_rps * 4,
                           duration_s=duration_s, seed=seed)
     raise ValueError(f"unknown trace {kind!r}; known: {TRACE_KINDS}")
+
+
+def cached_trace(
+    kind: str, rate_rps: float, duration_s: float, seed: int
+) -> ArrivalTrace:
+    """Memoized :func:`make_trace`.
+
+    Trace construction is deterministic in its arguments and traces are
+    treated as immutable by every consumer, so sharing one instance is
+    safe.  The experiment runner primes this cache in the parent
+    process *before* forking its worker pool
+    (:func:`prime_trace_cache`): workers then inherit the already-built
+    arrival arrays through fork copy-on-write instead of each
+    regenerating — or worse, pickling and shipping — the same trace.
+    """
+    key = (kind, float(rate_rps), float(duration_s), int(seed))
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+            _TRACE_CACHE.clear()
+        trace = make_trace(kind, rate_rps, duration_s, seed)
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def prime_trace_cache(keys: Iterable[TraceKey]) -> int:
+    """Pre-build every distinct trace in *keys*; returns how many.
+
+    Called by the parallel runner in the parent process so forked
+    workers share the payloads copy-on-write.
+    """
+    distinct = {
+        (str(kind), float(rate), float(dur), int(seed))
+        for kind, rate, dur, seed in keys
+    }
+    for kind, rate, dur, seed in distinct:
+        cached_trace(kind, rate, dur, seed)
+    return len(distinct)

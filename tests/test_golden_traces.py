@@ -18,9 +18,10 @@ from repro.workloads import get_mix
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 GOLDEN = GOLDEN_DIR / "sim_spans_rscale_poisson.jsonl"
+GOLDEN_VECTOR = GOLDEN_DIR / "sim_spans_rscale_poisson_vector.jsonl"
 
 
-def _run_spans():
+def _run_spans(engine=None):
     tracer = Tracer()
     system = ServerlessSystem(
         config=make_policy_config("rscale", idle_timeout_ms=60_000.0),
@@ -28,6 +29,7 @@ def _run_spans():
         cluster_spec=ClusterSpec(n_nodes=4),
         seed=7,
         tracer=tracer,
+        engine=engine,
     )
     system.run(poisson_trace(4.0, 10.0, seed=7))
     return tracer.spans
@@ -94,6 +96,28 @@ class TestGoldenTraces:
             f"span stream diverged from tests/golden/{GOLDEN.name} "
             "(run pytest --update-golden if the change is intended)"
         )
+
+    def test_vector_spans_match_golden(self, update_golden):
+        records = normalize_spans(_run_spans(engine="vector"))
+        assert records, "seeded vector run emitted no spans"
+        for r in records:
+            validate_span_dict(r)
+        text = _dumps(records)
+        if update_golden:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            GOLDEN_VECTOR.write_text(text)
+        golden = GOLDEN_VECTOR.read_text()
+        assert text == golden, (
+            f"vector span stream diverged from tests/golden/"
+            f"{GOLDEN_VECTOR.name} "
+            "(run pytest --update-golden if the change is intended)"
+        )
+
+    def test_vector_golden_equals_event_loop_golden(self):
+        # The two snapshot files must stay byte-identical: the vector
+        # engine's whole contract is emitting the same span stream as
+        # the event-loop engines.
+        assert GOLDEN_VECTOR.read_text() == GOLDEN.read_text()
 
     def test_normalization_is_id_offset_invariant(self):
         spans = _run_spans()

@@ -126,6 +126,51 @@ class TestRunnerDeterminism:
         assert run_trial(spec) == ExperimentRunner().run([spec])[0].summary
 
 
+class TestParallelRegression:
+    """The chunked pool path: same bytes as serial, in input order."""
+
+    def _eight_specs(self):
+        # >= 8 distinct uncached trials across two policies, so the
+        # round-robin chunks interleave different workloads.
+        return (
+            repeat_specs("bline", base_seed=19, repeats=4, **TINY)
+            + repeat_specs("rscale", base_seed=23, repeats=4, **TINY)
+        )
+
+    def test_workers4_bit_identical_to_serial_in_input_order(self):
+        specs = self._eight_specs()
+        assert len(specs) >= 8
+        serial = ExperimentRunner(workers=1).run(specs)
+        parallel = ExperimentRunner(workers=4).run(specs)
+        assert [r.spec for r in parallel] == specs
+        assert summaries_json(serial) == summaries_json(parallel)
+        assert all(not r.from_cache for r in parallel)
+        assert all(r.wall_s > 0.0 for r in parallel)
+
+    def test_parallel_path_still_writes_cache(self, tmp_path):
+        specs = self._eight_specs()
+        runner = ExperimentRunner(workers=4, cache_dir=tmp_path)
+        runner.run(specs)
+        assert runner.cache_misses == len(specs)
+        replay = ExperimentRunner(workers=4, cache_dir=tmp_path)
+        replay.run(specs)
+        assert replay.cache_hits == len(specs)
+
+    def test_engine_field_is_not_part_of_the_cache_key(self):
+        base = TrialSpec.make("rscale", **TINY)
+        vector = TrialSpec.make("rscale", engine="vector", **TINY)
+        assert vector.engine == "vector"
+        assert config_hash(base) == config_hash(vector)
+        assert "engine" not in base.canonical()
+
+    def test_engine_cache_sharing_is_sound(self):
+        # Sharing cache entries across engines is only valid because
+        # the summaries are bit-identical; check it end to end.
+        base = TrialSpec.make("rscale", **TINY)
+        vector = TrialSpec.make("rscale", engine="vector", **TINY)
+        assert run_trial(base) == run_trial(vector)
+
+
 class TestCacheEdgeCases:
     def test_no_cache_flag_ignores_but_still_writes(self, tmp_path):
         specs = tiny_specs(1)

@@ -35,6 +35,24 @@ def sim_run():
 
 
 @pytest.fixture(scope="module")
+def vector_run():
+    # Same workload as ``sim_run`` but through the flat-array engine:
+    # its synthesized span tree must satisfy every structural invariant
+    # the event-loop engines do.
+    tracer = Tracer()
+    system = ServerlessSystem(
+        config=make_policy_config("rscale", idle_timeout_ms=60_000.0),
+        mix=get_mix("light"),
+        cluster_spec=ClusterSpec(n_nodes=4),
+        seed=11,
+        tracer=tracer,
+        engine="vector",
+    )
+    result = system.run(poisson_trace(6.0, 12.0, seed=11))
+    return tracer, result, None
+
+
+@pytest.fixture(scope="module")
 def live_run():
     tracer = Tracer()
     runtime = ServingRuntime(
@@ -52,9 +70,10 @@ def live_run():
     return tracer, result, runtime
 
 
-@pytest.fixture(scope="module", params=["sim", "live"])
-def run(request, sim_run, live_run):
-    return sim_run if request.param == "sim" else live_run
+@pytest.fixture(scope="module", params=["sim", "vector", "live"])
+def run(request, sim_run, vector_run, live_run):
+    return {"sim": sim_run, "vector": vector_run, "live": live_run}[
+        request.param]
 
 
 class TestSpanInvariants:

@@ -6,7 +6,13 @@ import pytest
 from repro.cluster.energy import EnergyMeter, NodePowerModel
 from repro.cluster.node import Node
 from repro.metrics.collector import MetricsCollector, RunResult
-from repro.metrics.stats import cdf_points, percentile, summarize_latencies
+from repro.metrics.stats import (
+    cdf_points,
+    percentile,
+    quantiles,
+    sorted_quantiles,
+    summarize_latencies,
+)
 from repro.workflow.job import Job, JobStage
 from repro.workflow.statestore import StateStore
 from repro.workloads import get_application
@@ -86,6 +92,59 @@ class TestStatsHelpers:
         cut = cdf_points(values, up_to_percentile=95.0)
         assert len(cut) == 95
         assert cut[-1] <= 95
+
+    def test_percentile_single_sample(self):
+        # A lone sample is its own percentile for every q.
+        for q in (0.0, 37.0, 50.0, 99.0, 100.0):
+            assert percentile([42.0], q) == 42.0
+
+    def test_percentile_bounds_checked_before_empty(self):
+        # An out-of-range q is a caller bug regardless of sample size.
+        with pytest.raises(ValueError):
+            percentile([], 150)
+
+    def test_percentile_ignores_nan(self):
+        assert percentile([1.0, float("nan"), 3.0], 50) == 2.0
+        assert percentile([float("nan")] * 3, 99) == 0.0
+
+    def test_quantiles_ignore_nan(self):
+        got = quantiles([10.0, float("nan"), 20.0], (0.0, 100.0))
+        assert list(got) == [10.0, 20.0]
+        assert list(quantiles([float("nan")], (50.0,))) == [0.0]
+
+    def test_quantiles_match_percentile_loop(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        qs = (0.0, 25.0, 50.0, 99.0, 100.0)
+        assert list(quantiles(values, qs)) == [
+            percentile(values, q) for q in qs
+        ]
+
+    def test_sorted_quantiles_single_and_nan_tail(self):
+        assert list(sorted_quantiles(np.array([7.0]), (50.0,))) == [7.0]
+        # NaNs sort to the tail; they must not leak into the estimate.
+        arr = np.array([1.0, 2.0, 3.0, np.nan])
+        got = sorted_quantiles(arr, (50.0, 100.0))
+        assert list(got) == [2.0, 3.0]
+
+    def test_sorted_quantiles_match_percentile(self):
+        arr = np.sort(np.array([4.0, 8.0, 15.0, 16.0, 23.0, 42.0]))
+        qs = (10.0, 50.0, 90.0, 95.0)
+        assert list(sorted_quantiles(arr, qs)) == list(
+            np.percentile(arr, qs)
+        )
+
+    def test_summarize_latencies_drops_nan(self):
+        s = summarize_latencies([10.0, float("nan"), 30.0])
+        assert s["mean"] == pytest.approx(20.0)
+        assert s["max"] == 30.0
+        assert summarize_latencies([float("nan")])["p99"] == 0.0
+
+    def test_summarize_latencies_single_sample(self):
+        s = summarize_latencies([12.5])
+        assert s == {
+            "mean": 12.5, "p50": 12.5, "p95": 12.5, "p99": 12.5,
+            "max": 12.5,
+        }
 
 
 def _completed_job(arrival, latency, app="ipa"):
