@@ -176,6 +176,89 @@ def bench_event_queue(n: int) -> dict:
     return out
 
 
+def bench_shard(quick: bool, rate: float, duration: float) -> dict:
+    """Sharded-plane benches: partitioned admission throughput plus
+    end-to-end 1 -> 2 -> 4 shard scaling.
+
+    The admission bench times the per-request work the sharded gateway
+    does before a job exists — SplitMix64 ring partition, per-shard app
+    presampling and the flat record layout — because that path bounds
+    the aggregate request rate N gateways can admit regardless of how
+    fast the downstream engines drain.  The scaling bench runs the full
+    reference workload through ``run_sharded_policy``'s process mode;
+    on a single-CPU host its speedup reflects pool overhead only.
+    """
+    import numpy as np
+
+    from repro.core.vectorized import (
+        job_record_layout, presample_app_indices,
+    )
+    from repro.shard.ring import ConsistentHashRing
+    from repro.shard.sim import (
+        _shard_seed, partition_arrivals, run_sharded_policy,
+    )
+    from repro.traces.base import ArrivalTrace
+
+    mix = get_mix("heavy")
+    cdf = mix._weight_cdf
+    chain_lengths = np.asarray(
+        [len(app.stages) for app in mix.applications], dtype=np.intp
+    )
+
+    n_requests = 200_000 if quick else 1_000_000
+    shards = 4
+    rng = np.random.default_rng(5)
+    times = np.sort(rng.uniform(0.0, 600_000.0, n_requests))
+    trace = ArrivalTrace(times, name="admission-bench")
+    ring = ConsistentHashRing(shards)
+    # Warm-up pass (numpy dispatch, md5 ring build).
+    partition_arrivals(ArrivalTrace(times[:1000], name="warm"), ring)
+
+    started = time.perf_counter()
+    parts = partition_arrivals(trace, ring)
+    admitted = 0
+    for shard_id, sub, _ids in parts:
+        shard_rng = np.random.default_rng(_shard_seed(5, shard_id))
+        count = len(sub.arrivals_ms)
+        apps = presample_app_indices(cdf, shard_rng, count)
+        job_record_layout(chain_lengths[apps])
+        admitted += count
+    admission_wall = time.perf_counter() - started
+    if admitted != n_requests:
+        raise AssertionError("ring partition lost or duplicated requests")
+
+    out = {
+        "admission": {
+            "requests": n_requests,
+            "shards": shards,
+            "wall_s": round(admission_wall, 4),
+            "requests_per_sec": round(n_requests / admission_wall, 1),
+        },
+    }
+
+    scaling = {}
+    wall_1 = None
+    for n in (1, 2, 4):
+        started = time.perf_counter()
+        result = run_sharded_policy(
+            "rscale", mix, step_poisson_trace(
+                rate, duration, variation=0.4, seed=5),
+            shards=n, shard_workers=n,
+            cluster_spec=ClusterSpec(n_nodes=8), seed=5,
+            engine="vector", idle_timeout_ms=60_000.0,
+        )
+        wall = time.perf_counter() - started
+        wall_1 = wall if n == 1 else wall_1
+        scaling[str(n)] = {
+            "jobs": int(result.n_jobs),
+            "wall_s": round(wall, 4),
+            "jobs_per_sec": round(result.n_jobs / wall, 1),
+            "speedup_vs_1": round(wall_1 / wall, 3),
+        }
+    out["shard_scaling"] = scaling
+    return out
+
+
 def bench_runner(workers: int, rate: float, duration: float,
                  repeats: int) -> dict:
     from repro.experiments.runner import (
@@ -245,6 +328,14 @@ def main(argv=None) -> int:
                              "below this (only enforced when the machine "
                              "has at least 2 CPUs; a 1-core box cannot "
                              "demonstrate parallelism)")
+    parser.add_argument("--min-shard-admission", type=float, default=0.0,
+                        help="fail if the sharded plane's partitioned "
+                             "admission path drops below this many "
+                             "aggregate requests/sec")
+    parser.add_argument("--min-shard-speedup", type=float, default=0.0,
+                        help="fail if the 2-shard end-to-end run is not "
+                             "at least this much faster than 1 shard "
+                             "(auto-skipped below 2 CPUs)")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_sim.json"),
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
@@ -292,6 +383,35 @@ def main(argv=None) -> int:
           f"cache {rn['warm_cache_wall_s']}s "
           f"({rn['warm_cache_hits']}/{rn['trials']} hits)")
 
+    print("sharded plane (partitioned admission + 1/2/4-shard scaling)...")
+    report["shard"] = bench_shard(args.quick, runner_rate, runner_duration)
+    sh = report["shard"]
+    print(f"  admission:  {sh['admission']['requests_per_sec']:>12,.0f} "
+          f"req/s aggregate over {sh['admission']['shards']} shards")
+    for n, row in sh["shard_scaling"].items():
+        print(f"  {n} shard(s): {row['wall_s']}s "
+              f"({row['jobs_per_sec']:,.0f} jobs/s, "
+              f"{row['speedup_vs_1']}x vs 1 shard)")
+
+    # Floors that this machine cannot meaningfully enforce are recorded
+    # in the artifact itself, so a BENCH_sim.json with no failure is
+    # distinguishable from one where the check never ran.
+    cpus = report["cpu_count"] or 1
+    skipped_floors = []
+    if args.min_parallel_speedup and cpus < 2:
+        skipped_floors.append({
+            "floor": "min_parallel_speedup",
+            "value": args.min_parallel_speedup,
+            "reason": f"{cpus}-CPU machine cannot demonstrate parallelism",
+        })
+    if args.min_shard_speedup and cpus < 2:
+        skipped_floors.append({
+            "floor": "min_shard_speedup",
+            "value": args.min_shard_speedup,
+            "reason": f"{cpus}-CPU machine cannot run shards concurrently",
+        })
+    report["skipped_floors"] = skipped_floors
+
     out_path = atomic_write_json(args.out, report)
     print(f"wrote {out_path}")
 
@@ -306,7 +426,6 @@ def main(argv=None) -> int:
               f"events/s below floor {args.min_vector_eps:,.0f}",
               file=sys.stderr)
         failed = True
-    cpus = report["cpu_count"] or 1
     if args.min_parallel_speedup:
         if cpus < 2:
             print(f"note: --min-parallel-speedup skipped on a "
@@ -315,6 +434,23 @@ def main(argv=None) -> int:
             print(f"FAIL: parallel speedup {rn['parallel_speedup']}x "
                   f"below floor {args.min_parallel_speedup}x",
                   file=sys.stderr)
+            failed = True
+    if (args.min_shard_admission
+            and sh["admission"]["requests_per_sec"]
+            < args.min_shard_admission):
+        print(f"FAIL: sharded admission "
+              f"{sh['admission']['requests_per_sec']:,.0f} req/s below "
+              f"floor {args.min_shard_admission:,.0f}", file=sys.stderr)
+        failed = True
+    if args.min_shard_speedup:
+        if cpus < 2:
+            print(f"note: --min-shard-speedup skipped on a "
+                  f"{cpus}-CPU machine (shards cannot run concurrently)")
+        elif (sh["shard_scaling"]["2"]["speedup_vs_1"]
+                < args.min_shard_speedup):
+            print(f"FAIL: 2-shard speedup "
+                  f"{sh['shard_scaling']['2']['speedup_vs_1']}x below "
+                  f"floor {args.min_shard_speedup}x", file=sys.stderr)
             failed = True
     return 1 if failed else 0
 

@@ -272,7 +272,73 @@ def _run_batch(args) -> int:
     return 0
 
 
+def _print_sharded(policy: str, result, journal=None) -> None:
+    """Render a ShardedRunResult: per-shard rows + plane aggregate."""
+    s = result.summary()
+    rows = [
+        (
+            f"shard {sid}",
+            r.n_jobs,
+            r.n_completed,
+            r.shed_jobs,
+            f"{r.p99_latency_ms:.0f}",
+        )
+        for sid, r in sorted(result.per_shard.items())
+    ]
+    rows.append((
+        "plane", result.n_jobs, result.n_completed, result.shed_jobs,
+        f"{s['p99_latency_ms']:.0f}",
+    ))
+    print(format_table(
+        ["shard", "jobs", "completed", "shed", "P99(ms)"], rows,
+        title=f"{policy} x{result.n_shards} shards "
+              f"({result.mode} plane, "
+              f"SLO viol {s['slo_violation_rate']:.3%})",
+    ))
+    orch = result.orchestration
+    if orch.get("ticks"):
+        print(f"orchestrator: {orch['ticks']} ticks, "
+              f"{orch['rebalances']} rebalances, "
+              f"{orch['nodes_moved']} nodes moved, "
+              f"final skew {orch.get('final_skew', 0.0):.2f}")
+    if journal:
+        verdicts = ", ".join(
+            f"shard {sid}: {'ok' if v['conserved'] else 'VIOLATED'}"
+            for sid, v in sorted(journal.items())
+        )
+        print(f"journal conservation: {verdicts}")
+
+
+def _run_sharded(args: argparse.Namespace) -> int:
+    from repro.shard import run_sharded_policy
+
+    trace = _make_trace(args.trace, args.rate, args.duration, args.seed)
+    try:
+        result = run_sharded_policy(
+            args.policy, get_mix(args.mix), trace,
+            shards=args.shards,
+            shard_workers=args.shard_workers,
+            rebalance_interval_ms=(
+                args.rebalance_interval * 1000.0
+                if args.rebalance_interval is not None else None
+            ),
+            stage_routing=args.stage_routing,
+            cluster_spec=ClusterSpec(n_nodes=args.nodes),
+            seed=args.seed,
+            engine=getattr(args, "engine", None),
+            shed_expired=args.sim_shed_expired,
+            idle_timeout_ms=60_000.0,
+            **_guard_overrides(args),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"run: {exc}")
+    _print_sharded(args.policy, result)
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.shards > 1:
+        return _run_sharded(args)
     if args.repeats > 1 or args.workers > 1 or args.cache_dir:
         return _run_batch(args)
     tracer = _make_tracer(args)
@@ -369,6 +435,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"serve: {exc}")
+    if args.shards > 1:
+        from repro.shard.live import serve_sharded
+
+        print(f"serving {trace.name} live on {args.shards} gateway "
+              f"shards for {args.duration:g}s "
+              f"(time scale {args.time_scale:g}x) ...")
+        try:
+            result = serve_sharded(
+                args.policy, get_mix(args.mix), trace,
+                shards=args.shards,
+                cluster_spec=ClusterSpec(n_nodes=args.nodes),
+                seed=args.seed,
+                options=options,
+                idle_timeout_ms=60_000.0,
+                **_guard_overrides(args),
+            )
+        except ValueError as exc:
+            raise SystemExit(f"serve: {exc}")
+        _print_sharded(args.policy, result, journal=result.journal)
+        return 0
     tracer = _make_tracer(args)
     runtime = ServingRuntime(
         config=config,
@@ -720,6 +806,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "seconds) — arrivals inside it are lost at the "
                             "front door and monitor ticks are skipped; the "
                             "sim twin of serve's --gateway-crash-at")
+    shard_g = run_p.add_argument_group("sharded serving plane")
+    shard_g.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="gateway shards over a consistent-hash "
+                              "split of the request ids; 1 (default) is "
+                              "the exact single-gateway path")
+    shard_g.add_argument("--shard-workers", type=int, default=1,
+                         metavar="N",
+                         help="OS processes for the shards (static "
+                              "partition, no online rebalance); 1 keeps "
+                              "the orchestrated in-process plane")
+    shard_g.add_argument("--rebalance-interval", type=float, default=None,
+                         metavar="S",
+                         help="model seconds between orchestrator "
+                              "reconciliations (default: the monitor "
+                              "interval)")
+    shard_g.add_argument("--stage-routing", choices=["local", "hash"],
+                         default="local",
+                         help="'local' keeps a job's whole chain on its "
+                              "home shard; 'hash' re-routes every stage "
+                              "hop through the ring (event-loop engines "
+                              "only)")
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser(
@@ -755,6 +862,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "model seconds")
     serve_p.add_argument("--executor-workers", type=int, default=0,
                          help="worker threads (0 = size to the cluster)")
+    serve_p.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="gateway processes, each owning a "
+                              "consistent-hash slice of the request ids "
+                              "with its own journal/checkpoint files; 1 "
+                              "(default) is the exact single-gateway path")
     serve_p.add_argument("--json-out", default=None,
                          help="write a structured JSON run summary here")
     serve_p.add_argument("--crash-prob", type=float, default=0.0,

@@ -337,13 +337,13 @@ class ExperimentRunner:
         pending: Sequence[int],
         results: List[Optional[TrialResult]],
     ) -> None:
-        from repro.traces.factory import prime_trace_cache
+        from repro.traces.factory import (
+            pool_inherits_memory,
+            prime_trace_cache,
+            trace_cache_initializer,
+        )
 
-        # Build every distinct trace once in the parent before the pool
-        # forks: workers inherit the arrival arrays copy-on-write
-        # instead of regenerating them per trial.  (On spawn-based
-        # platforms this is merely a no-op warm-up for the parent.)
-        prime_trace_cache(
+        trace_keys = sorted({
             (
                 specs[idx].trace_kind,
                 specs[idx].rate_rps,
@@ -351,7 +351,15 @@ class ExperimentRunner:
                 specs[idx].seed,
             )
             for idx in pending
-        )
+        })
+        # Build every distinct trace once in the parent before the pool
+        # forks: workers inherit the arrival arrays copy-on-write
+        # instead of regenerating them per trial.  Under spawn the
+        # parent's cache is invisible to workers, so skip the wasted
+        # build here and let the pool initializer below prime each
+        # worker process exactly once instead.
+        if pool_inherits_memory():
+            prime_trace_cache(trace_keys)
         # Round-robin assignment keeps chunk workloads balanced when
         # pending trials are sorted by size (sweeps usually are), and
         # caps the future count at ``workers`` — the per-future
@@ -359,7 +367,11 @@ class ExperimentRunner:
         # regression this replaces.
         n_chunks = min(self.workers, len(pending))
         chunks = [list(pending[i::n_chunks]) for i in range(n_chunks)]
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=trace_cache_initializer,
+            initargs=(trace_keys,),
+        ) as pool:
             futures = {
                 pool.submit(
                     _execute_trial_chunk, [specs[idx] for idx in chunk]

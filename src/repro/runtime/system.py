@@ -15,7 +15,7 @@ proactive predictor pre-spawns containers every monitoring interval.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -172,6 +172,9 @@ class ServerlessSystem:
         self.stage_slacks = function_slack_ms(self.plans.values())
         self.stage_responses = function_response_ms(self.plans.values())
         self.stage_shares = self._stage_shares()
+        #: Node ids that start cordoned (sharded mode only; see
+        #: :mod:`repro.shard`).  None — the default — is a no-op.
+        self.cordoned_node_ids: Optional[Sequence[int]] = None
         # Populated by run().
         self.sim: Optional[Simulator] = None
         self.pools: Dict[str, FunctionPool] = {}
@@ -228,6 +231,13 @@ class ServerlessSystem:
                 memory_per_node_mb=self.cluster_spec.memory_per_node_mb,
                 policy=self.config.placement,
             )
+        # Sharded mode: nodes not granted to this shard start cordoned
+        # (placement bit only); the global orchestrator moves grants by
+        # flipping that bit.  ``None`` — every non-sharded run — changes
+        # nothing, which is what keeps 1-shard runs bit-identical.
+        if self.cordoned_node_ids:
+            for node_id in self.cordoned_node_ids:
+                self.cluster.nodes[node_id].fail()
         self._rng_apps = np.random.default_rng(self.seed)
         self._rng_exec = np.random.default_rng(self.seed + 1)
         self.sampler = WindowedMaxSampler(
@@ -621,14 +631,44 @@ def run_policy(
     node_fault_schedule: Optional[NodeFaultSchedule] = None,
     control_blackout: Optional[ControlPlaneBlackout] = None,
     engine: Optional[str] = None,
+    shards: int = 1,
+    shard_workers: int = 1,
+    rebalance_interval_ms: Optional[float] = None,
     **config_overrides,
 ) -> RunResult:
     """Convenience one-call runner used by examples and benches.
 
     Keyword arguments not consumed here override fields of the named
     policy's :class:`~repro.core.policies.RMConfig`.
+
+    ``shards > 1`` partitions the request-id keyspace over N gateway
+    shards (consistent-hash routing, per-shard scalers, global
+    orchestrator) and returns a
+    :class:`~repro.shard.sim.ShardedRunResult`; ``shards=1`` — the
+    default — never imports the shard machinery, so the single-gateway
+    path stays bit-identical.
     """
     from repro.core.policies import make_policy_config
+
+    if shards > 1:
+        from repro.shard.sim import run_sharded_policy
+
+        return run_sharded_policy(
+            policy_name,
+            mix,
+            trace,
+            shards=shards,
+            shard_workers=shard_workers,
+            rebalance_interval_ms=rebalance_interval_ms,
+            cluster_spec=cluster_spec,
+            predictor=predictor,
+            seed=seed,
+            drain_ms=drain_ms,
+            fast_path=fast_path,
+            shed_expired=shed_expired,
+            engine=engine,
+            **config_overrides,
+        )
 
     config = make_policy_config(policy_name, **config_overrides)
     system = ServerlessSystem(

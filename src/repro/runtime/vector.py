@@ -464,6 +464,14 @@ class _VectorEngine:
             policy=config.placement,
         )
         system.cluster = self.cluster
+        # Sharded mode: nodes not granted to this shard start cordoned
+        # (placement bit only) so the orchestrator can move whole-node
+        # grants later.  ``None`` — every non-sharded run — changes
+        # nothing.
+        cordon = getattr(system, "cordoned_node_ids", None)
+        if cordon:
+            for node_id in cordon:
+                self.cluster.nodes[node_id].fail()
         self._rng_apps = np.random.default_rng(system.seed)
         self._rng_exec = np.random.default_rng(system.seed + 1)
         system._rng_apps = self._rng_apps
@@ -1096,19 +1104,39 @@ class _VectorEngine:
                    + self._gateway_shed)
         return self._created <= settled
 
+    # -- epoch stepping (public surface for the sharded plane) ----------
+
+    def step_until(self, until: float) -> None:
+        """Advance the event loop to *until* (one monitor epoch).
+
+        The sharded sim interleaves N engines by stepping each to the
+        same boundary, reconciling them through the global orchestrator
+        between epochs.  ``run()`` below is exactly this primitive in a
+        loop, so a 1-shard stepped run replays the solo path.
+        """
+        self._run_until(until)
+
+    def all_done(self) -> bool:
+        """True once every created job has settled (drain condition)."""
+        return self._all_done()
+
+    def finish(self) -> RunResult:
+        """Seal the clock and collect this engine's RunResult."""
+        self.system.sim = FlatClock(self.now, self._events)
+        return self._finalize()
+
     def run(self) -> RunResult:
         trace = self.trace
         horizon = trace.duration_ms + 1.0
         interval = self.config.monitor_interval_ms
         for bound in epoch_boundaries(horizon, interval):
-            self._run_until(bound)
+            self.step_until(bound)
         drained = horizon
         drain_ms = self.system.drain_ms
-        while not self._all_done() and drained < horizon + drain_ms:
+        while not self.all_done() and drained < horizon + drain_ms:
             drained += interval
-            self._run_until(drained)
-        self.system.sim = FlatClock(self.now, self._events)
-        return self._finalize()
+            self.step_until(drained)
+        return self.finish()
 
     # -- vectorized finalize -------------------------------------------
 
@@ -1270,6 +1298,11 @@ class _VectorEngine:
             else:
                 job.completion_ms = self.job_completion[j]
             record_job_spans(self.tracer, job)
+
+
+#: Public name for the steppable engine (the sharded sim constructs one
+#: per shard and drives them epoch by epoch via ``step_until``).
+VectorEngine = _VectorEngine
 
 
 def run_vector(system, trace) -> RunResult:

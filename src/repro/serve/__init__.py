@@ -30,7 +30,11 @@ from repro.serve.clock import ScaledClock
 from repro.serve.config import FaultConfig, ServeOptions
 from repro.serve.faults import ChaosInjector
 from repro.serve.gateway import Gateway
-from repro.serve.journal import RequestJournal
+from repro.serve.journal import (
+    JournalLockedError,
+    RequestJournal,
+    journal_basename,
+)
 from repro.serve.pool import WorkerPool, WorkerSlot
 from repro.serve.recovery import (
     JournaledJob,
@@ -53,6 +57,7 @@ __all__ = [
     "FaultConfig",
     "Gateway",
     "JournaledJob",
+    "JournalLockedError",
     "PlannedArrival",
     "RecoveryPlan",
     "RequestJournal",
@@ -65,6 +70,7 @@ __all__ = [
     "WorkerPool",
     "WorkerSlot",
     "build_recovery_plan",
+    "journal_basename",
     "replay_journal",
     "serve_trace",
 ]

@@ -152,6 +152,14 @@ class ServeOptions:
             to finish before the runtime flushes the journal, writes a
             final checkpoint and reports.  ``None`` falls back to
             ``drain_timeout_ms``.
+        shard_id / n_shards: identity of this gateway in a sharded
+            serving plane (:mod:`repro.shard.live`).  With
+            ``n_shards > 1`` the durability artifacts are keyed by
+            shard (``journal-<shard_id>.jsonl``,
+            ``checkpoint-s<shard_id>-*``) so sibling gateways sharing
+            one ``journal_dir`` never touch each other's files.  The
+            defaults — shard 0 of 1 — keep the unsharded filenames
+            byte-for-byte identical.
     """
 
     time_scale: float = 1.0
@@ -168,6 +176,8 @@ class ServeOptions:
     checkpoint_interval_ms: float = 30_000.0
     journal_fsync_batch: int = 32
     drain_grace_ms: Optional[float] = None
+    shard_id: int = 0
+    n_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.time_scale <= 0:
@@ -193,4 +203,11 @@ class ServeOptions:
             raise ValueError(
                 "control-plane crash injection requires journal_dir "
                 "(there is nothing to recover from otherwise)"
+            )
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if not 0 <= self.shard_id < self.n_shards:
+            raise ValueError(
+                f"shard_id {self.shard_id} out of range for "
+                f"{self.n_shards} shards"
             )

@@ -21,6 +21,13 @@ The reader side tolerates a truncated final line (the classic
 crash-mid-append artifact) and ignores unknown event types, so the
 format can grow without breaking old recoveries.
 
+Single-writer contract: a JSONL WAL is only torn-tail-recoverable if
+exactly one process appends to it.  Opening a journal takes an
+``O_EXCL`` pid sentinel (``<path>.lock``); a second writer on the same
+path raises :class:`JournalLockedError` instead of interleaving.  A
+lock whose pid is dead (crashed writer) is stolen silently — recovery
+after a crash reopens the same journal by design.
+
 Conservation invariant (checked by the crash-recovery study): for every
 unique job id, ``#admit == #complete + #fail + #shed`` once the run has
 drained — journaled admissions equal completions + sheds + dead-letters.
@@ -28,6 +35,7 @@ drained — journaled admissions equal completions + sheds + dead-letters.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import pathlib
@@ -42,6 +50,19 @@ JOURNAL_SCHEMA_VERSION = 1
 
 #: Journal filename inside the durability directory.
 JOURNAL_BASENAME = "journal.jsonl"
+
+
+def journal_basename(shard_id: int = 0, n_shards: int = 1) -> str:
+    """Journal filename for one gateway shard.
+
+    A sharded plane (``n_shards > 1``) keys each shard's WAL by id so
+    sibling gateway processes sharing one durability directory never
+    contend on a file; the unsharded name is preserved exactly so
+    pre-sharding journals keep recovering.
+    """
+    if n_shards <= 1:
+        return JOURNAL_BASENAME
+    return f"journal-{shard_id}.jsonl"
 
 # Event types.
 EV_ADMIT = "admit"
@@ -61,6 +82,80 @@ KNOWN_EVENTS = frozenset({EV_ADMIT, EV_HOP, EV_RETRY}) | TERMINAL_EVENTS
 DEFAULT_FSYNC_BATCH = 32
 
 
+class JournalLockedError(RuntimeError):
+    """Another live process already owns this journal path."""
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - conservative default
+        return False
+    return True
+
+
+_lock_tokens = itertools.count(1)
+
+
+class _WriterLock:
+    """``O_CREAT|O_EXCL`` pid sentinel guarding one journal path."""
+
+    def __init__(self, journal_path: pathlib.Path) -> None:
+        self.path = journal_path.with_name(journal_path.name + ".lock")
+        # pid:token — the token distinguishes two locks from the same
+        # process (an in-process respawn steals a stale sentinel; the
+        # stale lock's release must then not unlink the new one).
+        self._content = f"{os.getpid()}:{next(_lock_tokens)}"
+        self._held = False
+        self._acquire()
+
+    def _acquire(self) -> None:
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                owner = self._owner_pid()
+                if owner is not None and owner != os.getpid() \
+                        and _pid_alive(owner):
+                    raise JournalLockedError(
+                        f"journal {self.path} is already owned by "
+                        f"live pid {owner}; a second writer would "
+                        f"interleave the WAL"
+                    )
+                # Stale sentinel (writer crashed) or unreadable relic:
+                # steal it and retry the exclusive create.
+                try:
+                    self.path.unlink()
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(fd, "w") as handle:
+                handle.write(self._content)
+            self._held = True
+            return
+
+    def _owner_pid(self) -> Optional[int]:
+        try:
+            return int(self.path.read_text().split(":", 1)[0])
+        except (OSError, ValueError):
+            return None
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            if self.path.read_text() == self._content:
+                self.path.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
 class RequestJournal:
     """Append-only JSONL write-ahead log keyed by job id."""
 
@@ -75,6 +170,9 @@ class RequestJournal:
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.fsync_batch = fsync_batch
+        # Exactly one live writer per path (see module docstring); the
+        # sentinel is released by close().
+        self._lock = _WriterLock(self.path)
         # Append mode: a recovered run continues the same journal, so
         # the full admission history survives any number of crashes.
         self._handle = self.path.open("a", encoding="utf-8")
@@ -173,6 +271,7 @@ class RequestJournal:
             return
         self.flush()
         self._handle.close()
+        self._lock.release()
         self._closed = True
 
     # -- read side ---------------------------------------------------------

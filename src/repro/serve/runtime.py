@@ -41,13 +41,13 @@ from repro.obs.trace import Tracer
 from repro.prediction.base import Predictor
 from repro.prediction.windowed import WindowedMaxSampler
 from repro.runtime.system import ClusterSpec, ServerlessSystem
-from repro.serve.checkpoint import CheckpointManager
+from repro.serve.checkpoint import CheckpointManager, checkpoint_basename
 from repro.serve.clock import ScaledClock
 from repro.serve.config import ServeOptions
 from repro.serve.control import ControlLoop
 from repro.serve.faults import ChaosInjector
 from repro.serve.gateway import Gateway
-from repro.serve.journal import JOURNAL_BASENAME, RequestJournal
+from repro.serve.journal import RequestJournal, journal_basename
 from repro.serve.pool import WorkerPool, WorkFn
 from repro.serve.recovery import (
     build_recovery_plan,
@@ -164,9 +164,12 @@ class ServingRuntime:
         self.journal = None
         self.checkpointer = None
         if self.options.journal_dir:
+            # Durability artifacts are keyed by shard id in a sharded
+            # plane (the default shard 0-of-1 keeps the legacy names).
             directory = pathlib.Path(self.options.journal_dir)
             self.journal = RequestJournal(
-                directory / JOURNAL_BASENAME,
+                directory / journal_basename(
+                    self.options.shard_id, self.options.n_shards),
                 fsync_batch=self.options.journal_fsync_batch,
                 registry=self.registry,
             )
@@ -174,6 +177,8 @@ class ServingRuntime:
                 directory,
                 interval_ms=self.options.checkpoint_interval_ms,
                 registry=self.registry,
+                basename=checkpoint_basename(
+                    self.options.shard_id, self.options.n_shards),
             )
         self.pools = {}
         self.gateway = self._make_gateway()

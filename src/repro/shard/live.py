@@ -1,0 +1,271 @@
+"""Sharded *live* serving plane: one gateway process per shard.
+
+:func:`serve_sharded` is the live twin of
+:func:`repro.shard.sim.run_sharded_policy`'s process mode: the trace is
+partitioned by the same consistent-hash ring, then each shard runs a
+full :class:`~repro.serve.runtime.ServingRuntime` — its own asyncio
+gateway, scaler, journal and checkpoints — in a forked worker process
+over its slice of the cluster.  Fork is preferred (children inherit the
+parent's executor pipes, the "listener", and the already-primed trace
+caches); when only ``spawn`` exists everything in the payload pickles,
+so the plane still runs, just colder.
+
+Durability artifacts are keyed by shard id
+(``journal-<i>.jsonl`` / ``checkpoint-<i>.json`` via
+:func:`~repro.serve.journal.journal_basename`), so N gateways may share
+one ``journal_dir`` without contending on a file — and the parent
+verifies per-shard journal conservation after the drain.
+
+``shards=1`` delegates to :func:`repro.serve.runtime.serve_trace`
+untouched, keeping the single-gateway live path bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.collector import RunResult
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.runtime.system import ClusterSpec
+from repro.serve.config import ServeOptions
+from repro.shard.ring import ConsistentHashRing, DEFAULT_VNODES
+from repro.shard.sim import (
+    ShardedRunResult,
+    _shard_seed,
+    partition_arrivals,
+    plan_node_grants,
+)
+from repro.traces.base import ArrivalTrace
+from repro.workloads.mixes import WorkloadMix
+
+#: A snapshot row: ``(name, labels, kind, payload)`` where payload is a
+#: float for counters/gauges and a state dict for histograms.
+SnapshotRow = Tuple[str, Tuple[Tuple[str, str], ...], str, object]
+
+
+# ----------------------------------------------------------------------
+# registry snapshot / merge (cross-process metrics)
+# ----------------------------------------------------------------------
+
+def snapshot_registry(registry: MetricsRegistry) -> List[SnapshotRow]:
+    """Serialize every metric in *registry* for cross-process transport.
+
+    Live metric objects hold no locks or handles, but shipping the
+    registry itself would freeze its concrete classes into the pickle
+    stream; a plain-data snapshot keeps the wire format stable.
+    """
+    rows: List[SnapshotRow] = []
+    for name, labels, metric in registry.collect():
+        if metric.kind == "histogram":
+            payload = {
+                "edges": list(metric.edges),
+                "bucket_counts": list(metric.bucket_counts),
+                "count": metric.count,
+                "sum": metric.sum,
+                "min": metric.min,
+                "max": metric.max,
+            }
+        else:
+            payload = metric.value
+        rows.append((name, labels, metric.kind, payload))
+    return rows
+
+
+def _thaw_histogram(payload: Dict) -> Histogram:
+    hist = Histogram(payload["edges"])
+    hist.bucket_counts = list(payload["bucket_counts"])
+    hist.count = int(payload["count"])
+    hist.sum = float(payload["sum"])
+    hist.min = payload["min"]
+    hist.max = payload["max"]
+    return hist
+
+
+def merge_registry_snapshots(
+    snapshots: Sequence[List[SnapshotRow]],
+) -> MetricsRegistry:
+    """Merge per-shard registry snapshots into one plane-level registry.
+
+    Counters and gauges sum (a gauge here is an end-of-run level, and
+    the plane-level level is the sum over gateways); histograms merge
+    exactly bucket-wise.  The result reconciles: every ``*_total`` in
+    the merged registry equals the sum of the per-shard totals.
+    """
+    merged = MetricsRegistry()
+    for rows in snapshots:
+        for name, labels, kind, payload in rows:
+            label_kwargs = dict(labels)
+            if kind == "counter":
+                merged.counter(name, **label_kwargs).inc(float(payload))
+            elif kind == "gauge":
+                merged.gauge(name, **label_kwargs).inc(float(payload))
+            else:
+                incoming = _thaw_histogram(payload)
+                slot = merged.histogram(
+                    name, buckets=incoming.edges, **label_kwargs)
+                combined = slot.merge(incoming)
+                slot.bucket_counts = combined.bucket_counts
+                slot.count = combined.count
+                slot.sum = combined.sum
+                slot.min = combined.min
+                slot.max = combined.max
+    return merged
+
+
+# ----------------------------------------------------------------------
+# aggregate result
+# ----------------------------------------------------------------------
+
+@dataclass
+class ShardedServeResult(ShardedRunResult):
+    """Live-plane aggregate: per-shard results + merged registry +
+    journal-conservation verdicts."""
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    journal: Dict[int, Dict] = field(default_factory=dict)
+
+    @property
+    def journal_conserved(self) -> bool:
+        """True when every shard's journal passed conservation (and
+        vacuously when the run had no journal)."""
+        return all(v.get("conserved") for v in self.journal.values())
+
+    def summary(self) -> Dict[str, float]:
+        out = super().summary()
+        if self.journal:
+            out["journal_conserved"] = bool(self.journal_conserved)
+            out["journal_jobs_admitted"] = sum(
+                v["jobs_admitted"] for v in self.journal.values())
+        return out
+
+
+# ----------------------------------------------------------------------
+# shard worker (runs in a forked child)
+# ----------------------------------------------------------------------
+
+def _serve_shard_worker(payload: Dict) -> Dict:
+    """Serve one shard's slice and return its result + metrics.
+
+    Module-level so the spawn start method can import it; under fork it
+    simply inherits the parent image.
+    """
+    from repro.core.policies import make_policy_config
+    from repro.serve.runtime import ServingRuntime
+
+    config = make_policy_config(payload["policy"], **payload["overrides"])
+    runtime = ServingRuntime(
+        config=config,
+        mix=payload["mix"],
+        cluster_spec=payload["cluster_spec"],
+        seed=payload["seed"],
+        options=payload["options"],
+    )
+    result = runtime.run(payload["trace"])
+    return {
+        "shard_id": payload["shard_id"],
+        "result": result,
+        "registry": snapshot_registry(runtime.registry),
+    }
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+def serve_sharded(
+    policy_name: str,
+    mix: WorkloadMix,
+    trace: ArrivalTrace,
+    shards: int = 2,
+    cluster_spec: ClusterSpec = ClusterSpec(),
+    seed: int = 0,
+    options: ServeOptions = ServeOptions(),
+    initial_node_grants: Optional[Sequence[int]] = None,
+    vnodes: int = DEFAULT_VNODES,
+    **config_overrides,
+):
+    """Serve *trace* on an N-gateway live plane, one process per shard.
+
+    Returns a plain :class:`RunResult` for ``shards=1`` (the exact
+    single-gateway path) and a :class:`ShardedServeResult` otherwise.
+    The caller's *options* apply to every shard; ``shard_id``/
+    ``n_shards`` are stamped per child and must be left at their
+    defaults here.
+    """
+    from repro.serve.runtime import serve_trace
+
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if (options.shard_id, options.n_shards) != (0, 1):
+        raise ValueError(
+            "serve_sharded assigns shard identities itself; pass "
+            "options with the default shard_id=0, n_shards=1")
+    if shards == 1:
+        return serve_trace(
+            policy_name, mix, trace, cluster_spec=cluster_spec,
+            seed=seed, options=options, **config_overrides,
+        )
+    if options.node_fault_schedule is not None:
+        raise ValueError(
+            "node_fault_schedule targets global node ids; the sharded "
+            "plane splits the cluster, so the schedule would hit "
+            "different nodes per shard — inject faults per-shard via "
+            "a single-gateway run instead")
+
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+
+    ring = ConsistentHashRing(shards, vnodes=vnodes)
+    parts = partition_arrivals(trace, ring)
+    grants = plan_node_grants(
+        cluster_spec.n_nodes, shards, initial_node_grants)
+
+    payloads = []
+    for (shard_id, sub, _ids), grant in zip(parts, grants):
+        payloads.append({
+            "shard_id": shard_id,
+            "policy": policy_name,
+            "mix": mix,
+            "trace": sub,
+            "cluster_spec": ClusterSpec(
+                n_nodes=grant,
+                cores_per_node=cluster_spec.cores_per_node,
+                memory_per_node_mb=cluster_spec.memory_per_node_mb,
+            ),
+            "seed": _shard_seed(seed, shard_id),
+            "options": dataclasses.replace(
+                options, shard_id=shard_id, n_shards=shards),
+            "overrides": config_overrides,
+        })
+
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else None)
+    with ProcessPoolExecutor(max_workers=shards, mp_context=ctx) as ex:
+        outcomes = list(ex.map(_serve_shard_worker, payloads))
+
+    per_shard: Dict[int, RunResult] = {
+        o["shard_id"]: o["result"] for o in outcomes
+    }
+    merged = merge_registry_snapshots([o["registry"] for o in outcomes])
+
+    journal: Dict[int, Dict] = {}
+    if options.journal_dir:
+        from repro.experiments.robustness import journal_conservation
+        from repro.serve.journal import RequestJournal, journal_basename
+
+        directory = pathlib.Path(options.journal_dir)
+        for shard_id in per_shard:
+            records = RequestJournal.read_records(
+                directory / journal_basename(shard_id, shards))
+            journal[shard_id] = journal_conservation(records)
+
+    return ShardedServeResult(
+        per_shard=per_shard,
+        mode="live",
+        orchestration={"ticks": 0, "rebalances": 0, "nodes_moved": 0},
+        registry=merged,
+        journal=journal,
+    )

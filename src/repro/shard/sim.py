@@ -1,0 +1,674 @@
+"""Sharded simulation plane: N gateways over one partitioned keyspace.
+
+Three execution modes behind one entry point,
+:func:`run_sharded_policy`:
+
+* ``shards=1`` — delegates straight to
+  :func:`repro.runtime.system.run_policy`.  No shard machinery touches
+  the run, which is what keeps the single-gateway path (and its golden
+  traces) bit-identical.
+* **In-process orchestrated** (default for ``shards>1``) — N systems,
+  each owning a consistent-hash slice of the request ids and a
+  full-size cluster with only its granted nodes uncordoned, stepped on
+  one clock with the :class:`~repro.shard.orchestrator
+  .GlobalOrchestrator` reconciling grants between monitor epochs.
+  Event-loop engines share a single :class:`Simulator` (the
+  multi-tenant pattern); the vector engine is stepped epoch-by-epoch
+  via its ``step_until`` primitive.
+* **Process fan-out** (``shard_workers>1``) — one OS process per
+  shard over a static partition (no online rebalance), for wall-clock
+  scaling on multi-core hosts.
+
+Chain-stage routing: by default a shard owns a job's whole chain
+(``stage_routing="local"`` — Fifer packs chains, so affinity is the
+deployment that makes sense).  ``stage_routing="hash"`` re-routes every
+stage hop through the ring instead (event-loop engines only): hops
+landing on a foreign shard pay ``cross_shard_hop_ms`` and execute in
+the owning shard's pools, modelling a plane whose stages are
+partitioned independently of their jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.collector import RunResult
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.system import ClusterSpec, ServerlessSystem, run_policy
+from repro.shard.orchestrator import (
+    GlobalOrchestrator,
+    ShardHandle,
+    ShardLoadReport,
+    divide_surge_budget,
+)
+from repro.shard.ring import ConsistentHashRing, DEFAULT_VNODES
+from repro.sim.engine import ENGINE_VECTOR, Simulator, resolve_engine
+from repro.sim.process import CoalescedTicker
+from repro.traces.base import ArrivalTrace
+from repro.workflow.sharded_store import ShardedStateStore
+from repro.workloads.mixes import WorkloadMix
+
+#: Modelled one-way latency of a cross-shard stage hop (gateway →
+#: gateway RPC), added on top of the app's own transition overhead.
+DEFAULT_CROSS_SHARD_HOP_MS = 0.5
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+
+def partition_arrivals(
+    trace: ArrivalTrace, ring: ConsistentHashRing
+) -> List[Tuple[int, ArrivalTrace, np.ndarray]]:
+    """Split *trace* into per-shard sub-traces by request id.
+
+    The request id is the arrival index — the same id the journal and
+    the job layout use — hashed through the ring's vectorized path, so
+    partitioning an epoch of M arrivals is one SplitMix64 pass and one
+    ``searchsorted``.  Returns ``(shard_id, sub_trace, request_ids)``
+    triples in ring order; the id arrays are a disjoint cover of
+    ``arange(len(trace))``.
+    """
+    times = np.asarray(trace.arrivals_ms, dtype=np.float64)
+    ids = np.arange(times.size, dtype=np.uint64)
+    owners = ring.shard_for_array(ids)
+    parts = []
+    for shard_id in ring.shard_ids:
+        mask = owners == shard_id
+        sub = ArrivalTrace(
+            times[mask], name=f"{trace.name}#s{shard_id}"
+        )
+        parts.append((shard_id, sub, ids[mask]))
+    return parts
+
+
+def plan_node_grants(
+    n_nodes: int,
+    n_shards: int,
+    initial_node_grants: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Nodes initially granted per shard (sums to *n_nodes*, min 1)."""
+    if initial_node_grants is not None:
+        grants = [int(g) for g in initial_node_grants]
+        if len(grants) != n_shards:
+            raise ValueError(
+                f"initial_node_grants has {len(grants)} entries "
+                f"for {n_shards} shards")
+        if any(g < 1 for g in grants):
+            raise ValueError("every shard needs at least one node")
+        if sum(grants) != n_nodes:
+            raise ValueError(
+                f"grants sum to {sum(grants)}, cluster has {n_nodes}")
+        return grants
+    if n_nodes < n_shards:
+        raise ValueError(
+            f"cannot split {n_nodes} nodes over {n_shards} shards")
+    base, extra = divmod(n_nodes, n_shards)
+    return [base + (1 if i < extra else 0) for i in range(n_shards)]
+
+
+# ----------------------------------------------------------------------
+# shard handles (orchestrator adapters)
+# ----------------------------------------------------------------------
+
+class _ClusterShardHandle(ShardHandle):
+    """Grant bookkeeping shared by the event-loop and vector handles."""
+
+    def __init__(self, shard_id: int, cluster, governor) -> None:
+        self.shard_id = shard_id
+        self.cluster = cluster
+        self.governor = governor
+        # Only nodes this plane cordoned are grantable — a node killed
+        # by a fault schedule must never come back via rebalance.
+        self._cordoned = [n for n in cluster.nodes if n.failed]
+
+    def granted_nodes(self) -> int:
+        return sum(1 for n in self.cluster.nodes if not n.failed)
+
+    def surrender_node(self, now_ms: float) -> bool:
+        active = [n for n in self.cluster.nodes if not n.failed]
+        if len(active) <= 1:
+            return False
+        # Prefer an empty node; otherwise cordon the emptiest one (the
+        # bit only blocks new placements — running containers drain out
+        # and are reaped from a node that can no longer win placement).
+        node = min(
+            active, key=lambda n: (not n.empty, n.container_count)
+        )
+        node.fail()
+        self._cordoned.append(node)
+        return True
+
+    def grant_node(self, now_ms: float) -> bool:
+        if not self._cordoned:
+            return False
+        node = self._cordoned.pop()
+        node.recover(now_ms)
+        return True
+
+    def set_surge_budget(self, max_surge: int) -> None:
+        if self.governor is not None:
+            # max_surge=0 means "clamp off" to the governor, so a
+            # budgeted shard's share floors at one spawn per tick.
+            self.governor.max_surge = max(1, int(max_surge))
+
+
+class _SystemShardHandle(_ClusterShardHandle):
+    """Adapter over an event-loop :class:`ServerlessSystem` shard."""
+
+    def __init__(self, shard_id: int, system: ServerlessSystem) -> None:
+        super().__init__(shard_id, system.cluster, system.governor)
+        self.system = system
+
+    def load_report(self, now_ms: float) -> ShardLoadReport:
+        system = self.system
+        settled = (
+            len(system.metrics.completed_jobs)
+            + len(system.metrics.failed_jobs)
+            + int(system.registry.value("gateway_shed_total"))
+        )
+        return ShardLoadReport(
+            shard_id=self.shard_id,
+            now_ms=now_ms,
+            inflight=max(0, system.metrics.jobs_created - settled),
+            warm_containers=sum(
+                p.n_containers for p in system.pools.values()),
+            nodes_granted=self.granted_nodes(),
+        )
+
+
+class _VectorShardHandle(_ClusterShardHandle):
+    """Adapter over a stepped vector engine shard."""
+
+    def __init__(self, shard_id: int, engine) -> None:
+        super().__init__(shard_id, engine.cluster, engine.governor)
+        self.engine = engine
+
+    def load_report(self, now_ms: float) -> ShardLoadReport:
+        eng = self.engine
+        settled = (
+            len(eng._completed_order) + len(eng._failed)
+            + eng._gateway_shed
+        )
+        return ShardLoadReport(
+            shard_id=self.shard_id,
+            now_ms=now_ms,
+            inflight=max(0, eng._created - settled),
+            warm_containers=sum(
+                p.n_containers for p in eng.pools.values()),
+            nodes_granted=self.granted_nodes(),
+        )
+
+
+# ----------------------------------------------------------------------
+# cross-shard chain-stage routing (event-loop engines)
+# ----------------------------------------------------------------------
+
+class _ShardSystem(ServerlessSystem):
+    """A per-shard system whose stage hops can route through the ring.
+
+    All shard systems share one Simulator, so "routing" a hop is
+    delegating the enqueue to the owning peer after the modelled
+    gateway→gateway latency.  Jobs keep one deterministic routing key —
+    ``home_shard << 32 | per-shard admission sequence`` — so the hop
+    pattern is independent of process-global job-id counters.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.shard_id = 0
+        self.ring: Optional[ConsistentHashRing] = None
+        self.peers: Dict[int, "_ShardSystem"] = {}
+        self.stage_routing = "local"
+        self.cross_shard_hop_ms = DEFAULT_CROSS_SHARD_HOP_MS
+        self._route_seq = 0
+        self._route_keys: Dict[int, int] = {}
+
+    def _on_arrival(self) -> None:
+        self._route_seq += 1
+        super()._on_arrival()
+
+    def _enqueue_stage(self, job, stage_index: int) -> None:
+        if self.stage_routing == "hash" and self.ring is not None:
+            key = self._route_keys.setdefault(
+                job.job_id, (self.shard_id << 32) | self._route_seq
+            )
+            owner_id = self.ring.shard_for((key << 8) | stage_index)
+            owner = self.peers.get(owner_id, self)
+            if owner is not self:
+                self.registry.counter(
+                    "shard_cross_stage_hops_total").inc()
+                self.sim.schedule(
+                    self.cross_shard_hop_ms,
+                    lambda: ServerlessSystem._enqueue_stage(
+                        owner, job, stage_index),
+                    label="xshard-hop",
+                )
+                return
+        super()._enqueue_stage(job, stage_index)
+
+
+# ----------------------------------------------------------------------
+# aggregate result
+# ----------------------------------------------------------------------
+
+@dataclass
+class ShardedRunResult:
+    """Per-shard results plus plane-level aggregates."""
+
+    per_shard: Dict[int, RunResult]
+    mode: str                      # "inprocess" | "processes"
+    orchestration: Dict = field(default_factory=dict)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.per_shard)
+
+    @property
+    def n_jobs(self) -> int:
+        return sum(r.n_jobs for r in self.per_shard.values())
+
+    @property
+    def n_completed(self) -> int:
+        return sum(r.n_completed for r in self.per_shard.values())
+
+    @property
+    def n_failed(self) -> int:
+        return sum(r.n_failed for r in self.per_shard.values())
+
+    @property
+    def shed_jobs(self) -> int:
+        return sum(r.shed_jobs for r in self.per_shard.values())
+
+    @property
+    def violations(self) -> int:
+        return sum(r.violations for r in self.per_shard.values())
+
+    @property
+    def duration_ms(self) -> float:
+        return max(r.duration_ms for r in self.per_shard.values())
+
+    @property
+    def latencies_ms(self) -> np.ndarray:
+        return np.concatenate(
+            [r.latencies_ms for r in self.per_shard.values()]
+        ) if self.per_shard else np.array([])
+
+    @property
+    def slo_violation_rate(self) -> float:
+        """Violations plus never-finished jobs over offered jobs —
+        the same pessimistic definition RunResult uses."""
+        if self.n_jobs == 0:
+            return 0.0
+        incomplete = self.n_jobs - self.n_completed
+        return (self.violations + incomplete) / self.n_jobs
+
+    def summary(self) -> Dict[str, float]:
+        lat = self.latencies_ms
+        return {
+            "n_shards": float(self.n_shards),
+            "jobs": float(self.n_jobs),
+            "completed": float(self.n_completed),
+            "failed": float(self.n_failed),
+            "shed_jobs": float(self.shed_jobs),
+            "violations": float(self.violations),
+            "slo_violation_rate": self.slo_violation_rate,
+            "median_latency_ms": float(np.median(lat)) if lat.size else 0.0,
+            "p99_latency_ms": (
+                float(np.percentile(lat, 99)) if lat.size else 0.0),
+            "duration_ms": self.duration_ms,
+            "jobs_per_shard": {
+                s: r.n_jobs for s, r in sorted(self.per_shard.items())
+            },
+            **{f"orchestration_{k}": v
+               for k, v in self.orchestration.items()},
+        }
+
+
+# ----------------------------------------------------------------------
+# execution modes
+# ----------------------------------------------------------------------
+
+def _shard_seed(seed: int, shard_id: int) -> int:
+    """Decorrelated per-shard seed (shards must not clone RNG streams)."""
+    return seed + 7919 * (shard_id + 1)
+
+
+def _orchestration_summary(
+    orchestrator: GlobalOrchestrator, registry: MetricsRegistry
+) -> Dict:
+    store = orchestrator.store
+    return {
+        "ticks": int(registry.value("orchestrator_ticks_total")),
+        "rebalances": int(
+            registry.value("orchestrator_rebalances_total")),
+        "nodes_moved": int(
+            registry.value("orchestrator_nodes_moved_total")),
+        "final_skew": float(registry.value("orchestrator_shard_skew")),
+        "store_reads": store.reads,
+        "store_writes": store.writes,
+        "store_mean_access_ms": store.mean_access_latency_ms,
+        "store_load_imbalance": store.load_imbalance(),
+    }
+
+
+def _run_inprocess_vector(
+    config_factory,
+    parts,
+    grants: List[int],
+    trace: ArrivalTrace,
+    orchestrator_args: Dict,
+    rebalance_interval_ms: Optional[float],
+    **system_kwargs,
+) -> ShardedRunResult:
+    """Epoch-stepped vector engines reconciled between epochs."""
+    from repro.core.vectorized import epoch_boundaries
+    from repro.runtime.vector import VectorEngine
+
+    engines = {}
+    handles = []
+    n_nodes = system_kwargs["cluster_spec"].n_nodes
+    for (shard_id, sub, _ids), grant in zip(parts, grants):
+        system = ServerlessSystem(
+            config=config_factory(),
+            engine="vector",
+            **dict(system_kwargs, seed=_shard_seed(
+                system_kwargs["seed"], shard_id)),
+        )
+        system.cordoned_node_ids = list(range(grant, n_nodes))
+        engine = VectorEngine(system, sub)
+        engines[shard_id] = engine
+        handles.append(_VectorShardHandle(shard_id, engine))
+
+    orch_registry = MetricsRegistry()
+    orchestrator = GlobalOrchestrator(
+        handles, registry=orch_registry, **orchestrator_args)
+    config = engines[next(iter(engines))].config
+    interval = config.monitor_interval_ms
+    rebalance = rebalance_interval_ms or interval
+    if orchestrator.global_max_surge > 0:
+        shares = divide_surge_budget(
+            orchestrator.global_max_surge, [1.0] * len(handles))
+        for handle, share in zip(handles, shares):
+            handle.set_surge_budget(share)
+
+    horizon = trace.duration_ms + 1.0
+    next_rebalance = rebalance
+    for bound in epoch_boundaries(horizon, interval):
+        for engine in engines.values():
+            engine.step_until(bound)
+        while next_rebalance <= bound:
+            orchestrator.reconcile(bound)
+            next_rebalance += rebalance
+    drained = horizon
+    drain_ms = system_kwargs["drain_ms"]
+    while (
+        not all(e.all_done() for e in engines.values())
+        and drained < horizon + drain_ms
+    ):
+        drained += interval
+        for engine in engines.values():
+            engine.step_until(drained)
+    return ShardedRunResult(
+        per_shard={s: e.finish() for s, e in engines.items()},
+        mode="inprocess",
+        orchestration=_orchestration_summary(orchestrator, orch_registry),
+    )
+
+
+def _run_inprocess_eventloop(
+    config_factory,
+    parts,
+    grants: List[int],
+    trace: ArrivalTrace,
+    orchestrator_args: Dict,
+    rebalance_interval_ms: Optional[float],
+    stage_routing: str,
+    cross_shard_hop_ms: float,
+    ring: ConsistentHashRing,
+    **system_kwargs,
+) -> ShardedRunResult:
+    """N event-loop systems on one Simulator (multi-tenant pattern)."""
+    sim = Simulator()
+    systems: Dict[int, _ShardSystem] = {}
+    monitors = []
+    handles = []
+    n_nodes = system_kwargs["cluster_spec"].n_nodes
+    config = config_factory()
+    ticker = CoalescedTicker(
+        sim, config.monitor_interval_ms, label="shard-monitor")
+    for (shard_id, sub, _ids), grant in zip(parts, grants):
+        system = _ShardSystem(
+            config=config_factory(),
+            **dict(system_kwargs, seed=_shard_seed(
+                system_kwargs["seed"], shard_id)),
+        )
+        system.cordoned_node_ids = list(range(grant, n_nodes))
+        systems[shard_id] = system
+        monitors.append(system.attach(sim, sub, ticker=ticker))
+    for shard_id, system in systems.items():
+        system.shard_id = shard_id
+        system.ring = ring
+        system.peers = systems
+        system.stage_routing = stage_routing
+        system.cross_shard_hop_ms = cross_shard_hop_ms
+        handles.append(_SystemShardHandle(shard_id, system))
+
+    orch_registry = MetricsRegistry()
+    orchestrator = GlobalOrchestrator(
+        handles, registry=orch_registry, **orchestrator_args)
+    rebalance = rebalance_interval_ms or config.monitor_interval_ms
+    if orchestrator.global_max_surge > 0:
+        shares = divide_surge_budget(
+            orchestrator.global_max_surge, [1.0] * len(handles))
+        for handle, share in zip(handles, shares):
+            handle.set_surge_budget(share)
+    if rebalance == ticker.interval:
+        orch_sub = ticker.add(orchestrator.reconcile)
+    else:
+        orch_sub = CoalescedTicker(
+            sim, rebalance, label="orchestrator"
+        ).add(orchestrator.reconcile)
+
+    def settled() -> bool:
+        # Global drain condition: with hash stage routing a job may
+        # complete on a foreign shard, so per-shard conservation only
+        # holds for the aggregate.
+        created = sum(s.metrics.jobs_created for s in systems.values())
+        done = sum(
+            len(s.metrics.completed_jobs) + len(s.metrics.failed_jobs)
+            + int(s.registry.value("gateway_shed_total"))
+            for s in systems.values()
+        )
+        return created <= done
+
+    horizon = trace.duration_ms + 1.0
+    sim.run(until=horizon)
+    drained = horizon
+    drain_ms = system_kwargs["drain_ms"]
+    while not settled() and drained < horizon + drain_ms:
+        drained += config.monitor_interval_ms
+        sim.run(until=drained)
+    for monitor in monitors:
+        monitor.stop()
+    orch_sub.stop()
+    result = ShardedRunResult(
+        per_shard={s: sys_.finalize() for s, sys_ in systems.items()},
+        mode="inprocess",
+        orchestration=_orchestration_summary(orchestrator, orch_registry),
+    )
+    result.orchestration["cross_shard_hops"] = int(sum(
+        s.registry.value("shard_cross_stage_hops_total")
+        for s in systems.values()
+    ))
+    return result
+
+
+def _shard_worker(payload: Dict) -> RunResult:
+    """Run one shard's static partition in a worker process."""
+    return run_policy(
+        payload["policy"],
+        payload["mix"],
+        payload["trace"],
+        cluster_spec=payload["cluster_spec"],
+        seed=payload["seed"],
+        drain_ms=payload["drain_ms"],
+        engine=payload["engine"],
+        shed_expired=payload["shed_expired"],
+        fast_path=payload["fast_path"],
+        **payload["overrides"],
+    )
+
+
+def _run_processes(
+    policy_name: str,
+    mix: WorkloadMix,
+    parts,
+    grants: List[int],
+    shard_workers: int,
+    engine: Optional[str],
+    shed_expired: bool,
+    fast_path: bool,
+    cluster_spec: ClusterSpec,
+    seed: int,
+    drain_ms: float,
+    overrides: Dict,
+) -> ShardedRunResult:
+    """One process per shard over a static partition (no rebalance)."""
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+
+    payloads = []
+    for (shard_id, sub, _ids), grant in zip(parts, grants):
+        payloads.append({
+            "policy": policy_name,
+            "mix": mix,
+            "trace": sub,
+            "cluster_spec": ClusterSpec(
+                n_nodes=grant,
+                cores_per_node=cluster_spec.cores_per_node,
+                memory_per_node_mb=cluster_spec.memory_per_node_mb,
+            ),
+            "seed": _shard_seed(seed, shard_id),
+            "drain_ms": drain_ms,
+            "engine": engine,
+            "shed_expired": shed_expired,
+            "fast_path": fast_path,
+            "overrides": overrides,
+        })
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else None)
+    workers = min(shard_workers, len(payloads))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as ex:
+        results = list(ex.map(_shard_worker, payloads))
+    return ShardedRunResult(
+        per_shard={
+            shard_id: result
+            for (shard_id, _sub, _ids), result in zip(parts, results)
+        },
+        mode="processes",
+        orchestration={"ticks": 0, "rebalances": 0, "nodes_moved": 0},
+    )
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+def run_sharded_policy(
+    policy_name: str,
+    mix: WorkloadMix,
+    trace: ArrivalTrace,
+    shards: int = 2,
+    cluster_spec: ClusterSpec = ClusterSpec(),
+    predictor=None,
+    seed: int = 0,
+    drain_ms: float = 120_000.0,
+    engine: Optional[str] = None,
+    fast_path: bool = True,
+    shed_expired: bool = False,
+    shard_workers: int = 1,
+    rebalance_interval_ms: Optional[float] = None,
+    stage_routing: str = "local",
+    cross_shard_hop_ms: float = DEFAULT_CROSS_SHARD_HOP_MS,
+    initial_node_grants: Optional[Sequence[int]] = None,
+    vnodes: int = DEFAULT_VNODES,
+    skew_threshold: float = 2.0,
+    max_moves_per_tick: int = 1,
+    store: Optional[ShardedStateStore] = None,
+    **config_overrides,
+):
+    """Run *policy_name* over *trace* on an N-shard serving plane.
+
+    Returns a plain :class:`RunResult` for ``shards=1`` (the exact
+    single-gateway path) and a :class:`ShardedRunResult` otherwise.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if stage_routing not in ("local", "hash"):
+        raise ValueError(
+            f"stage_routing must be 'local' or 'hash', "
+            f"got {stage_routing!r}")
+    if shards == 1:
+        return run_policy(
+            policy_name, mix, trace,
+            cluster_spec=cluster_spec, predictor=predictor, seed=seed,
+            drain_ms=drain_ms, engine=engine, fast_path=fast_path,
+            shed_expired=shed_expired, **config_overrides,
+        )
+
+    ring = ConsistentHashRing(shards, vnodes=vnodes)
+    parts = partition_arrivals(trace, ring)
+    grants = plan_node_grants(
+        cluster_spec.n_nodes, shards, initial_node_grants)
+
+    if shard_workers > 1:
+        if stage_routing == "hash":
+            raise ValueError(
+                "hash stage routing needs the in-process plane "
+                "(shard_workers=1): isolated processes cannot "
+                "exchange stage hops")
+        return _run_processes(
+            policy_name, mix, parts, grants, shard_workers,
+            engine, shed_expired, fast_path, cluster_spec, seed,
+            drain_ms, config_overrides,
+        )
+
+    from repro.core.policies import make_policy_config
+
+    def config_factory():
+        return make_policy_config(policy_name, **config_overrides)
+
+    orchestrator_args = {
+        "store": store,
+        "skew_threshold": skew_threshold,
+        "max_moves_per_tick": max_moves_per_tick,
+        "global_max_surge": max(0, config_factory().max_surge),
+    }
+    system_kwargs = {
+        "mix": mix,
+        "cluster_spec": cluster_spec,
+        "predictor": predictor,
+        "seed": seed,
+        "drain_ms": drain_ms,
+        "fast_path": fast_path,
+        "shed_expired": shed_expired,
+    }
+    resolved = resolve_engine(engine, fast_path)
+    if resolved == ENGINE_VECTOR:
+        if stage_routing == "hash":
+            raise ValueError(
+                "hash stage routing is an event-loop feature; "
+                "use engine='fast'")
+        return _run_inprocess_vector(
+            config_factory, parts, grants, trace, orchestrator_args,
+            rebalance_interval_ms, **system_kwargs,
+        )
+    return _run_inprocess_eventloop(
+        config_factory, parts, grants, trace, orchestrator_args,
+        rebalance_interval_ms, stage_routing, cross_shard_hop_ms, ring,
+        **system_kwargs,
+    )

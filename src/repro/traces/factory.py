@@ -75,7 +75,13 @@ def prime_trace_cache(keys: Iterable[TraceKey]) -> int:
     """Pre-build every distinct trace in *keys*; returns how many.
 
     Called by the parallel runner in the parent process so forked
-    workers share the payloads copy-on-write.
+    workers share the payloads copy-on-write.  Parent-side priming only
+    helps when workers *inherit* the parent's memory — under the
+    ``spawn`` start method each worker boots a fresh interpreter with an
+    empty cache, so the parent's work is invisible to it.  Pools that
+    may spawn should install :func:`trace_cache_initializer` so each
+    worker process primes itself exactly once (see
+    :func:`pool_inherits_memory` for the parent-side decision).
     """
     distinct = {
         (str(kind), float(rate), float(dur), int(seed))
@@ -84,3 +90,26 @@ def prime_trace_cache(keys: Iterable[TraceKey]) -> int:
     for kind, rate, dur, seed in distinct:
         cached_trace(kind, rate, dur, seed)
     return len(distinct)
+
+
+def pool_inherits_memory() -> bool:
+    """True when a default-context worker pool forks (and therefore
+    inherits the parent's trace cache copy-on-write)."""
+    import multiprocessing as mp
+
+    return mp.get_context().get_start_method() == "fork"
+
+
+def trace_cache_initializer(keys: Iterable[TraceKey]) -> None:
+    """``ProcessPoolExecutor`` initializer: prime the cache *inside*
+    each worker process.
+
+    The spawn-start-method fallback for :func:`prime_trace_cache`:
+    spawn workers start with an empty cache, so without this every
+    trial they execute silently rebuilds its trace.  Under fork the
+    inherited cache makes this a cheap lookup loop, so installing the
+    initializer unconditionally is safe.  *keys* must be a concrete
+    (picklable) sequence — generators die on the trip to a spawned
+    worker.
+    """
+    prime_trace_cache(keys)

@@ -291,3 +291,86 @@ class TestCli:
                      "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "sweep max_batch" in out
+
+
+class TestTraceCachePriming:
+    """The spawn-start-method fallback for trace-cache priming."""
+
+    def test_prime_builds_each_distinct_trace_once(self):
+        from repro.traces.factory import _TRACE_CACHE, prime_trace_cache
+
+        _TRACE_CACHE.clear()
+        n = prime_trace_cache([
+            ("poisson", 15.0, 20.0, 1),
+            ("poisson", 15.0, 20.0, 1),   # duplicate key
+            ("poisson", 15.0, 20.0, 2),
+        ])
+        assert n == 2
+        assert ("poisson", 15.0, 20.0, 1) in _TRACE_CACHE
+        assert ("poisson", 15.0, 20.0, 2) in _TRACE_CACHE
+
+    def test_pool_inherits_memory_matches_default_context(self):
+        import multiprocessing as mp
+
+        from repro.traces.factory import pool_inherits_memory
+
+        expected = mp.get_context().get_start_method() == "fork"
+        assert pool_inherits_memory() is expected
+
+    def test_spawn_worker_is_primed_by_initializer(self):
+        """Regression: spawn workers used to start with an empty cache
+        and silently rebuild every trace; the pool initializer must
+        prime each worker process."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent("""
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro.traces.factory import trace_cache_initializer
+            from probe_trace_cache import probe
+
+            if __name__ == "__main__":
+                keys = [("poisson", 15.0, 20.0, 7)]
+                ctx = mp.get_context("spawn")
+                with ProcessPoolExecutor(
+                    max_workers=1, mp_context=ctx,
+                    initializer=trace_cache_initializer,
+                    initargs=(keys,),
+                ) as ex:
+                    assert ex.submit(probe, keys[0]).result(), \\
+                        "spawn worker cache not primed"
+                print("PRIMED")
+        """)
+        probe_module = textwrap.dedent("""
+            def probe(key):
+                import repro.traces.factory as factory
+                return tuple(key) in factory._TRACE_CACHE
+        """)
+        import tempfile
+
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        with tempfile.TemporaryDirectory() as tmp:
+            main_py = os.path.join(tmp, "main.py")
+            with open(main_py, "w") as fh:
+                fh.write(script)
+            with open(os.path.join(tmp, "probe_trace_cache.py"), "w") as fh:
+                fh.write(probe_module)
+            out = subprocess.run(
+                [sys.executable, main_py], capture_output=True,
+                text=True,
+                env=dict(os.environ,
+                         PYTHONPATH=os.pathsep.join([src, tmp])),
+            )
+        assert out.returncode == 0, out.stderr
+        assert "PRIMED" in out.stdout
+
+    def test_parallel_runner_still_deterministic_with_initializer(
+            self, tmp_path):
+        specs = tiny_specs(3)
+        serial = ExperimentRunner(workers=1, cache_dir=None).run(specs)
+        parallel = ExperimentRunner(workers=2, cache_dir=None).run(specs)
+        assert summaries_json(serial) == summaries_json(parallel)

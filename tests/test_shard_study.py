@@ -1,0 +1,55 @@
+"""The sharded-plane PR's study-level acceptance criteria.
+
+Asserted against a real (quick) run of the flash-crowd study: the
+N-shard plane rides out the WITS spike at least as well as the single
+gateway, the orchestrator moves capacity toward a starved shard, and
+the rebalanced arm drains its backlog into a materially shorter tail.
+"""
+
+import pytest
+
+from repro.experiments.shard_study import main, run_shard_study
+
+
+class TestShardStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_shard_study(quick=True, seed=7)
+
+    def test_structure(self, study):
+        assert set(study["arms"]) == {
+            "1shard", "2shard_uniform", "skewed_static",
+            "skewed_rebalance",
+        }
+        for arm in ("skewed_static", "skewed_rebalance"):
+            assert set(study["arms"][arm]["per_shard"]) == {"0", "1"}
+
+    def test_nshard_slo_no_worse_than_1shard(self, study):
+        baseline = study["arms"]["1shard"]["slo_violation_rate"]
+        sharded = study["arms"]["2shard_uniform"]["slo_violation_rate"]
+        assert sharded <= baseline
+        # And strictly better: the spike actually saturates one
+        # gateway's scaler but not two.
+        assert sharded < baseline
+
+    def test_rebalance_moves_capacity_and_recovers_tail(self, study):
+        static = study["arms"]["skewed_static"]
+        rebal = study["arms"]["skewed_rebalance"]
+        assert rebal["orchestration"]["nodes_moved"] > 0
+        assert static["orchestration"]["nodes_moved"] == 0
+        assert rebal["p99_latency_ms"] <= 0.75 * static["p99_latency_ms"]
+        assert rebal["slo_violation_rate"] \
+            <= static["slo_violation_rate"] + 1e-12
+
+    def test_every_verdict_passes(self, study):
+        assert all(study["acceptance"].values()), study["acceptance"]
+
+    def test_all_arms_conserve_jobs(self, study):
+        jobs = {a["jobs"] for a in study["arms"].values()}
+        assert len(jobs) == 1
+
+
+def test_cli_writes_json_and_exits_zero(tmp_path):
+    out = tmp_path / "shard_study.json"
+    assert main(["--quick", "--out", str(out)]) == 0
+    assert out.exists()
