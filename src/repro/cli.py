@@ -310,10 +310,15 @@ def _print_sharded(policy: str, result, journal=None) -> None:
 
 
 def _run_sharded(args: argparse.Namespace) -> int:
+    from repro.cluster.faults import ShardFaultSchedule
     from repro.shard import run_sharded_policy
 
     trace = _make_trace(args.trace, args.rate, args.duration, args.seed)
     try:
+        shard_faults = (
+            ShardFaultSchedule.parse(args.shard_faults)
+            if args.shard_faults else None
+        )
         result = run_sharded_policy(
             args.policy, get_mix(args.mix), trace,
             shards=args.shards,
@@ -327,12 +332,22 @@ def _run_sharded(args: argparse.Namespace) -> int:
             seed=args.seed,
             engine=getattr(args, "engine", None),
             shed_expired=args.sim_shed_expired,
+            shard_faults=shard_faults,
+            heartbeat_interval_ms=args.heartbeat_interval * 1000.0,
             idle_timeout_ms=60_000.0,
             **_guard_overrides(args),
         )
     except ValueError as exc:
         raise SystemExit(f"run: {exc}")
     _print_sharded(args.policy, result)
+    orch = result.orchestration
+    if shard_faults is not None:
+        journal = orch.get("journal") or {}
+        print(f"failover: {orch.get('failovers', 0)} declarations, "
+              f"{orch.get('shard_recoveries', 0)} recoveries, "
+              f"journal "
+              f"{'conserved' if journal.get('conserved') else 'VIOLATED'}"
+              f" ({journal.get('jobs_admitted', 0)} admitted)")
     return 0
 
 
@@ -435,6 +450,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"serve: {exc}")
+    if args.kill_shard_at is not None and args.shards < 2:
+        raise SystemExit(
+            "serve: --kill-shard-at needs --shards > 1 (a lone shard "
+            "has no survivor to take its keyspace)")
     if args.shards > 1:
         from repro.shard.live import serve_sharded
 
@@ -448,12 +467,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 cluster_spec=ClusterSpec(n_nodes=args.nodes),
                 seed=args.seed,
                 options=options,
+                kill_shard_at_ms=(
+                    args.kill_shard_at * 1000.0
+                    if args.kill_shard_at is not None else None
+                ),
+                kill_shard_id=args.kill_shard_id,
+                heartbeat_interval_ms=(
+                    args.heartbeat_interval * 1000.0
+                    if args.heartbeat_interval is not None else None
+                ),
                 idle_timeout_ms=60_000.0,
                 **_guard_overrides(args),
             )
         except ValueError as exc:
             raise SystemExit(f"serve: {exc}")
         _print_sharded(args.policy, result, journal=result.journal)
+        if result.failover:
+            info = result.failover
+            print(f"failover: shard {info['victim']} declared dead at "
+                  f"t={info['declared_at_ms'] / 1000.0:.1f}s "
+                  f"(epoch {info['epoch']}, fence "
+                  f"{'taken' if info['fence_taken'] else 'refused'}); "
+                  f"{info['requeued']} jobs requeued, "
+                  f"{info['expired']} expired on survivors "
+                  f"{info['survivors']}")
         return 0
     tracer = _make_tracer(args)
     runtime = ServingRuntime(
@@ -827,6 +864,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "home shard; 'hash' re-routes every stage "
                               "hop through the ring (event-loop engines "
                               "only)")
+    shard_g.add_argument("--shard-faults", default=None,
+                         metavar="SPEC",
+                         help="chaos: scripted shard kills/recoveries, "
+                              "e.g. 'kill@60=1;recover@120=1' — the "
+                              "plane heartbeats, declares the silent "
+                              "shard dead and replays its journal "
+                              "mirror onto the ring survivors "
+                              "(event-loop plane, shards > 1)")
+    shard_g.add_argument("--heartbeat-interval", type=float, default=1.0,
+                         metavar="S",
+                         help="model seconds between shard liveness "
+                              "beats for the failover health monitor "
+                              "(with --shard-faults)")
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser(
@@ -916,6 +966,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="drain budget on SIGTERM/SIGINT before the final "
                         "checkpoint + journal flush (default: "
                         "--drain-timeout)")
+    d.add_argument("--kill-shard-at", type=float, default=None,
+                   metavar="SECONDS",
+                   help="chaos: kill one whole gateway shard at this "
+                        "model time; the plane adjudicates from "
+                        "heartbeats, fences the WAL + lease and replays "
+                        "the keyspace on the survivors (requires "
+                        "--shards > 1 and --journal-dir)")
+    d.add_argument("--kill-shard-id", type=int, default=0,
+                   metavar="SHARD",
+                   help="which shard --kill-shard-at kills (default 0)")
+    d.add_argument("--heartbeat-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="model seconds between shard liveness beats "
+                        "(default 1s when --kill-shard-at is set)")
     add_guardrails(serve_p)
     add_obs(serve_p)
     serve_p.set_defaults(func=cmd_serve)

@@ -277,6 +277,92 @@ class NodeFaultSchedule:
 
 
 @dataclass(frozen=True)
+class ShardFaultEvent:
+    """One scripted serving-plane event: kill or recover gateway shards.
+
+    The shard-level sibling of :class:`NodeFaultEvent`: where a node
+    kill evicts containers, a shard kill takes a whole gateway (and its
+    keyspace) offline until failover remaps the ring and the survivors
+    replay its journal.
+    """
+
+    at_ms: float
+    action: str  # "kill" | "recover"
+    shard_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.at_ms) and self.at_ms >= 0.0):
+            raise ValueError("at_ms must be finite and >= 0")
+        if self.action not in ("kill", "recover"):
+            raise ValueError("action must be 'kill' or 'recover'")
+        ids = tuple(int(i) for i in self.shard_ids)
+        if not ids:
+            raise ValueError("an event must name at least one shard")
+        if any(i < 0 for i in ids):
+            raise ValueError("shard ids must be >= 0")
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate shard ids in one event")
+        object.__setattr__(self, "shard_ids", ids)
+
+
+class ShardFaultSchedule:
+    """A deterministic, time-ordered script of shard kills/recoveries.
+
+    Drives the sim plane's failover mirror: each kill silences a
+    shard's heartbeats (and cordons its nodes) until the health monitor
+    declares it dead and the survivors take over its keyspace; each
+    recovery resumes the heartbeats so hysteresis re-admits the shard
+    (and returns its cordoned nodes).  Sim and live emit the same
+    failover counters, so parity is checkable from metrics alone.
+    """
+
+    def __init__(self, events: Iterable[ShardFaultEvent]) -> None:
+        self.events: Tuple[ShardFaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.at_ms, e.action, e.shard_ids))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @classmethod
+    def parse(cls, spec: str) -> "ShardFaultSchedule":
+        """Build a schedule from a CLI spec string.
+
+        Format: ``;``-separated events, each ``ACTION@SECONDS=IDS`` with
+        comma-separated shard ids — e.g. ``kill@60=1;recover@120=1``
+        kills shard 1 at t=60 s and brings it back at t=120 s.
+        """
+        events = []
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            try:
+                head, ids_part = chunk.split("=", 1)
+                action, at_part = head.split("@", 1)
+                shard_ids = tuple(
+                    int(part) for part in ids_part.split(",") if part.strip()
+                )
+                event = ShardFaultEvent(
+                    at_ms=float(at_part) * 1000.0,
+                    action=action.strip().lower(),
+                    shard_ids=shard_ids,
+                )
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad shard-fault spec {chunk!r} (expected "
+                    f"ACTION@SECONDS=ID[,ID...], e.g. kill@60=1): {exc}"
+                ) from exc
+            events.append(event)
+        if not events:
+            raise ValueError("shard-fault spec contains no events")
+        return cls(events)
+
+
+@dataclass(frozen=True)
 class ControlPlaneBlackout:
     """A window during which the *control plane itself* is down.
 

@@ -160,6 +160,24 @@ class ServeOptions:
             one ``journal_dir`` never touch each other's files.  The
             defaults — shard 0 of 1 — keep the unsharded filenames
             byte-for-byte identical.
+        heartbeat_interval_ms: model-ms between liveness beats written
+            to ``<journal_dir>/heartbeat-<shard_id>.json``; the sharded
+            plane's health monitor declares a silent shard dead from
+            the gaps.  ``None`` (default) writes no heartbeats.
+        shard_crash_at_ms: model time at which this *whole shard* dies:
+            the gateway goes permanently dead (arrivals shed, nothing
+            journaled), pools are purged, heartbeats stop, and the
+            runtime skips its drain / final checkpoint / journal close
+            so the plane's failover must recover the keyspace from the
+            WAL.  Requires ``journal_dir``; ``None`` disables.
+        clock_start_ms: model-time origin of the scaled clock.  A
+            takeover runtime resumes a dead shard's timeline at the
+            declaration instant; 0.0 (default) is the exact normal
+            path.
+        journal_name / checkpoint_name: override the shard-keyed
+            durability basenames (takeover runtimes write
+            ``takeover-<dead>-by-<survivor>.jsonl`` next to the
+            originals).  ``None`` keeps the standard names.
     """
 
     time_scale: float = 1.0
@@ -178,6 +196,11 @@ class ServeOptions:
     drain_grace_ms: Optional[float] = None
     shard_id: int = 0
     n_shards: int = 1
+    heartbeat_interval_ms: Optional[float] = None
+    shard_crash_at_ms: Optional[float] = None
+    clock_start_ms: float = 0.0
+    journal_name: Optional[str] = None
+    checkpoint_name: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.time_scale <= 0:
@@ -211,3 +234,18 @@ class ServeOptions:
                 f"shard_id {self.shard_id} out of range for "
                 f"{self.n_shards} shards"
             )
+        if self.heartbeat_interval_ms is not None \
+                and self.heartbeat_interval_ms <= 0:
+            raise ValueError("heartbeat_interval_ms must be positive")
+        if self.heartbeat_interval_ms is not None and not self.journal_dir:
+            raise ValueError(
+                "heartbeats are written into journal_dir; set one")
+        if self.shard_crash_at_ms is not None:
+            if self.shard_crash_at_ms < 0:
+                raise ValueError("shard_crash_at_ms must be >= 0")
+            if not self.journal_dir:
+                raise ValueError(
+                    "shard crash injection requires journal_dir (the "
+                    "survivors recover the keyspace from the WAL)")
+        if self.clock_start_ms < 0:
+            raise ValueError("clock_start_ms must be >= 0")

@@ -87,6 +87,8 @@ class Gateway:
             "gateway_backpressure_sheds_total")
         self._c_stale = self.registry.counter(
             "gateway_stale_signals_total")
+        self._c_dead_sheds = self.registry.counter(
+            "gateway_dead_sheds_total")
         self._idle = asyncio.Event()
         self._idle.set()
 
@@ -151,9 +153,12 @@ class Gateway:
             # A crashed gateway answers nothing: the request is lost at
             # the front door (created + shed, so the SLO math still sees
             # it) and the predictor's sampler — control-plane state that
-            # died with the brain — learns nothing from it.
+            # died with the brain — learns nothing from it.  The
+            # dead-shed counter separates this degraded-routing loss
+            # from ordinary backpressure in the failover accounting.
             self.metrics.record_job_created()
             self._c_shed.inc()
+            self._c_dead_sheds.inc()
             return None
         self.sampler.record(now)
         self.metrics.record_job_created()

@@ -25,8 +25,11 @@ Single-writer contract: a JSONL WAL is only torn-tail-recoverable if
 exactly one process appends to it.  Opening a journal takes an
 ``O_EXCL`` pid sentinel (``<path>.lock``); a second writer on the same
 path raises :class:`JournalLockedError` instead of interleaving.  A
-lock whose pid is dead (crashed writer) is stolen silently — recovery
-after a crash reopens the same journal by design.
+lock whose pid is dead (crashed writer) is stolen — with the stolen
+pid:token logged, never silently — because recovery after a crash (and
+shard-failover takeover) reopens the same journal by design.  A lock
+whose pid is still *live* is never stolen: a takeover racing a
+merely-slow shard must refuse and fall back to read-only replay.
 
 Conservation invariant (checked by the crash-recovery study): for every
 unique job id, ``#admit == #complete + #fail + #shed`` once the run has
@@ -37,11 +40,14 @@ from __future__ import annotations
 
 import itertools
 import json
+import logging
 import os
 import pathlib
 from typing import Dict, List, Optional, Union
 
 from repro.obs.registry import MetricsRegistry
+
+logger = logging.getLogger(__name__)
 
 PathLike = Union[str, pathlib.Path]
 
@@ -128,7 +134,18 @@ class _WriterLock:
                         f"interleave the WAL"
                     )
                 # Stale sentinel (writer crashed) or unreadable relic:
-                # steal it and retry the exclusive create.
+                # steal it and retry the exclusive create.  Takeover of
+                # a dead shard's journal lands here, so the steal is an
+                # audited event, never a silent one.
+                try:
+                    relic = self.path.read_text()
+                except OSError:
+                    relic = "<unreadable>"
+                logger.warning(
+                    "stealing stale journal lock %s (owner %s, dead or "
+                    "unparseable; our claim %s)",
+                    self.path, relic.strip() or "<empty>", self._content,
+                )
                 try:
                     self.path.unlink()
                 except FileNotFoundError:

@@ -129,6 +129,17 @@ class ServingRuntime:
         # Durability plumbing (None unless options.journal_dir is set).
         self.journal: Optional[RequestJournal] = None
         self.checkpointer: Optional[CheckpointManager] = None
+        #: True once this shard has been scripted dead
+        #: (``options.shard_crash_at_ms``): the gateway sheds, nothing
+        #: journals or checkpoints, and the epilogue is skipped so the
+        #: WAL reads exactly as a crashed process left it.
+        self.shard_crashed: bool = False
+        #: Takeover injection: ``(requeue, expired)`` lists of
+        #: :class:`~repro.serve.recovery.JournaledJob` applied right
+        #: after the control loop starts — a survivor adopting a dead
+        #: sibling's keyspace serves these before (or instead of) a
+        #: trace of its own.
+        self.recovered_plan: Optional[tuple] = None
         #: True when the run ended via SIGTERM/SIGINT/request_shutdown
         #: instead of exhausting its trace.
         self.interrupted: bool = False
@@ -141,7 +152,11 @@ class ServingRuntime:
         config = self.config
         # Fresh registry per build, like every other per-run component.
         self.registry = MetricsRegistry()
-        self.clock = ScaledClock(self.options.time_scale)
+        self.shard_crashed = False
+        self.clock = ScaledClock(
+            self.options.time_scale,
+            start_at_ms=self.options.clock_start_ms,
+        )
         self.cluster = Cluster(
             n_nodes=self.cluster_spec.n_nodes,
             cores_per_node=self.cluster_spec.cores_per_node,
@@ -168,8 +183,10 @@ class ServingRuntime:
             # plane (the default shard 0-of-1 keeps the legacy names).
             directory = pathlib.Path(self.options.journal_dir)
             self.journal = RequestJournal(
-                directory / journal_basename(
-                    self.options.shard_id, self.options.n_shards),
+                directory / (
+                    self.options.journal_name
+                    or journal_basename(
+                        self.options.shard_id, self.options.n_shards)),
                 fsync_batch=self.options.journal_fsync_batch,
                 registry=self.registry,
             )
@@ -177,8 +194,10 @@ class ServingRuntime:
                 directory,
                 interval_ms=self.options.checkpoint_interval_ms,
                 registry=self.registry,
-                basename=checkpoint_basename(
-                    self.options.shard_id, self.options.n_shards),
+                basename=(
+                    self.options.checkpoint_name
+                    or checkpoint_basename(
+                        self.options.shard_id, self.options.n_shards)),
             )
         self.pools = {}
         self.gateway = self._make_gateway()
@@ -289,8 +308,11 @@ class ServingRuntime:
         )
         checkpoint = None
         if self.checkpointer is not None:
-            checkpoint = lambda now_ms: self.checkpointer.maybe(  # noqa: E731
-                now_ms, self._snapshot
+            # A dead shard must stop checkpointing the instant it
+            # crashes — survivors restore from its last pre-crash state.
+            checkpoint = lambda now_ms: (  # noqa: E731
+                None if self.shard_crashed
+                else self.checkpointer.maybe(now_ms, self._snapshot)
             )
         return ControlLoop(
             clock=self.clock,
@@ -497,6 +519,119 @@ class ServingRuntime:
             else f"{now - float(checkpoint.get('t_ms', now)):.0f}ms",
         )
 
+    # -- shard failover: heartbeats, scripted shard death, takeover --------
+
+    def _heartbeat_path(self) -> pathlib.Path:
+        from repro.shard.failover import heartbeat_basename
+
+        return pathlib.Path(self.options.journal_dir) \
+            / heartbeat_basename(self.options.shard_id)
+
+    def _write_heartbeat(self, now_ms: float) -> None:
+        """Atomically publish one liveness beat (tmp + rename)."""
+        import json
+        import os
+        import tempfile
+
+        path = self._heartbeat_path()
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".hb-")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump({
+                    "shard_id": self.options.shard_id,
+                    "t_ms": float(now_ms),
+                    "pid": os.getpid(),
+                }, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.registry.counter("shard_heartbeats_total").inc()
+
+    def _start_heartbeats(self) -> Optional[asyncio.Task]:
+        """Publish liveness beats until drain (or this shard's death)."""
+        interval = self.options.heartbeat_interval_ms
+        if interval is None or not self.options.journal_dir:
+            return None
+
+        async def _beat() -> None:
+            while not self.shard_crashed:
+                self._write_heartbeat(self.clock.now)
+                await self.clock.sleep_ms(interval)
+
+        return asyncio.get_running_loop().create_task(
+            _beat(), name="shard-heartbeat"
+        )
+
+    def _start_shard_crash(self) -> Optional[asyncio.Task]:
+        """Schedule this shard's scripted death, if configured."""
+        at_ms = self.options.shard_crash_at_ms
+        if at_ms is None:
+            return None
+
+        async def _crash() -> None:
+            await self.clock.sleep_until_ms(at_ms)
+            self._crash_shard()
+
+        return asyncio.get_running_loop().create_task(
+            _crash(), name="shard-crash"
+        )
+
+    def _crash_shard(self) -> None:
+        """Kill this whole shard in place — and never recover it.
+
+        Unlike a gateway crash (which restores itself from its own
+        journal), a shard crash is terminal for this process: the
+        gateway goes permanently dead (arrivals shed at the front door,
+        un-journaled — a zombie answers nothing), queued work is
+        purged, heartbeats stop so the plane's health monitor can
+        declare the death, and the epilogue is skipped so the WAL and
+        its lock sentinel read exactly as a crashed process leaves
+        them.  The *survivors* recover the keyspace.
+        """
+        now = self.clock.now
+        self.shard_crashed = True
+        self.gateway.dead = True
+        dropped = self.journal.drop_unflushed() if self.journal else 0
+        purged = self._purge_pools()
+        # The in-flight jobs died with the shard; the drain must not
+        # wait for completions that can never be delivered.
+        self.gateway.reset_in_flight()
+        self.registry.counter("shard_crashes_total").inc()
+        logger.warning(
+            "shard %d crash injected at t=%.0fms: %d queued tasks purged, "
+            "%d unflushed journal records lost; keyspace awaits takeover",
+            self.options.shard_id, now, purged, dropped,
+        )
+
+    def _apply_recovered_plan(self) -> None:
+        """Adopt a dead sibling's recovered jobs (takeover runtime)."""
+        if self.recovered_plan is None:
+            return
+        requeue, expired = self.recovered_plan
+        for entry in requeue:
+            self.gateway.requeue_recovered(entry)
+        for entry in expired:
+            self.gateway.expire_recovered(entry)
+        self.registry.counter("recoveries_total").inc()
+        if requeue:
+            self.registry.counter("jobs_requeued_on_recovery").inc(
+                len(requeue))
+            self.registry.counter(
+                "shard_jobs_requeued_on_failover_total").inc(len(requeue))
+        if expired:
+            self.registry.counter(
+                "shard_jobs_expired_on_failover_total").inc(len(expired))
+        logger.warning(
+            "takeover on shard %d at t=%.0fms: %d jobs requeued, "
+            "%d expired",
+            self.options.shard_id, self.clock.now,
+            len(requeue), len(expired),
+        )
+
     # -- graceful shutdown -------------------------------------------------
 
     def request_shutdown(self) -> None:
@@ -546,9 +681,12 @@ class ServingRuntime:
             if self.checkpointer is not None:
                 self.checkpointer.maybe(self.clock.now, self._snapshot)
             self.control.start()
+            self._apply_recovered_plan()
             killer = self._start_worker_killer()
             fault_replayer = self._start_node_fault_schedule()
             crasher = self._start_control_plane_crashes()
+            heartbeats = self._start_heartbeats()
+            shard_killer = self._start_shard_crash()
             self.replayer = TraceReplayer(
                 trace,
                 self.mix,
@@ -599,7 +737,8 @@ class ServingRuntime:
                 timeout_ms=drain_ms
             )
             await self.control.stop()
-            for task in (killer, fault_replayer, crasher):
+            for task in (killer, fault_replayer, crasher,
+                         heartbeats, shard_killer):
                 if task is not None and not task.done():
                     task.cancel()
             # The simulator's drain always reaches a monitor tick
@@ -609,15 +748,23 @@ class ServingRuntime:
             self.control.tick(self.clock.now)
             for pool in self.pools.values():
                 await pool.shutdown()
-            # Durable epilogue: one final snapshot + a flushed, closed
-            # journal, so a post-mortem (or the conservation check in
-            # the robustness study) sees the complete record.
-            if self.checkpointer is not None:
-                self.checkpointer.save(
-                    self._snapshot(self.clock.now), self.clock.now
-                )
-            if self.journal is not None:
-                self.journal.close()
+            if self.shard_crashed:
+                # A crashed shard writes no epilogue: no final
+                # checkpoint, no journal flush/close, and the lock
+                # sentinel stays on disk — the takeover path must find
+                # (and audit-steal) exactly what a real crash leaves.
+                self.drain_completed = False
+            else:
+                # Durable epilogue: one final snapshot + a flushed,
+                # closed journal, so a post-mortem (or the conservation
+                # check in the robustness study) sees the complete
+                # record.
+                if self.checkpointer is not None:
+                    self.checkpointer.save(
+                        self._snapshot(self.clock.now), self.clock.now
+                    )
+                if self.journal is not None:
+                    self.journal.close()
         finally:
             self._remove_signal_handlers(loop)
             self._stop_event = None

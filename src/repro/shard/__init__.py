@@ -15,17 +15,32 @@ traces stay byte-identical.
 """
 
 from repro.shard.ring import ConsistentHashRing
-from repro.shard.live import ShardedServeResult, serve_sharded
+from repro.shard.failover import (
+    EpochLease,
+    OrchestratorSupervisor,
+    ShardHealthMonitor,
+    assign_takeover,
+)
+from repro.shard.live import (
+    ShardedServeResult,
+    plane_journal_conservation,
+    serve_sharded,
+)
 from repro.shard.orchestrator import GlobalOrchestrator, ShardLoadReport
 from repro.shard.sim import ShardedRunResult, partition_arrivals, run_sharded_policy
 
 __all__ = [
     "ConsistentHashRing",
+    "EpochLease",
     "GlobalOrchestrator",
+    "OrchestratorSupervisor",
+    "ShardHealthMonitor",
     "ShardLoadReport",
     "ShardedRunResult",
     "ShardedServeResult",
+    "assign_takeover",
     "partition_arrivals",
+    "plane_journal_conservation",
     "run_sharded_policy",
     "serve_sharded",
 ]

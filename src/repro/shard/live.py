@@ -85,7 +85,7 @@ def _thaw_histogram(payload: Dict) -> Histogram:
 
 
 def merge_registry_snapshots(
-    snapshots: Sequence[List[SnapshotRow]],
+    snapshots: Sequence[Optional[List[SnapshotRow]]],
 ) -> MetricsRegistry:
     """Merge per-shard registry snapshots into one plane-level registry.
 
@@ -93,25 +93,45 @@ def merge_registry_snapshots(
     the plane-level level is the sum over gateways); histograms merge
     exactly bucket-wise.  The result reconciles: every ``*_total`` in
     the merged registry equals the sum of the per-shard totals.
+
+    A dead shard ships no snapshot (``None``) — or a torn, partial
+    one.  Either degrades instead of raising: missing snapshots are
+    counted in the ``shards_missing`` gauge, unreadable rows in
+    ``registry_rows_skipped_total``, and everything readable still
+    merges.  Losing a gateway must never also lose the survivors'
+    metrics.
     """
     merged = MetricsRegistry()
+    missing = 0
+    rows_skipped = 0
     for rows in snapshots:
-        for name, labels, kind, payload in rows:
-            label_kwargs = dict(labels)
-            if kind == "counter":
-                merged.counter(name, **label_kwargs).inc(float(payload))
-            elif kind == "gauge":
-                merged.gauge(name, **label_kwargs).inc(float(payload))
-            else:
-                incoming = _thaw_histogram(payload)
-                slot = merged.histogram(
-                    name, buckets=incoming.edges, **label_kwargs)
-                combined = slot.merge(incoming)
-                slot.bucket_counts = combined.bucket_counts
-                slot.count = combined.count
-                slot.sum = combined.sum
-                slot.min = combined.min
-                slot.max = combined.max
+        if rows is None:
+            missing += 1
+            continue
+        for row in rows:
+            try:
+                name, labels, kind, payload = row
+                label_kwargs = dict(labels)
+                if kind == "counter":
+                    merged.counter(name, **label_kwargs).inc(float(payload))
+                elif kind == "gauge":
+                    merged.gauge(name, **label_kwargs).inc(float(payload))
+                else:
+                    incoming = _thaw_histogram(payload)
+                    slot = merged.histogram(
+                        name, buckets=incoming.edges, **label_kwargs)
+                    combined = slot.merge(incoming)
+                    slot.bucket_counts = combined.bucket_counts
+                    slot.count = combined.count
+                    slot.sum = combined.sum
+                    slot.min = combined.min
+                    slot.max = combined.max
+            except (TypeError, ValueError, KeyError, IndexError):
+                rows_skipped += 1
+    if missing:
+        merged.gauge("shards_missing").set(float(missing))
+    if rows_skipped:
+        merged.counter("registry_rows_skipped_total").inc(rows_skipped)
     return merged
 
 
@@ -122,14 +142,25 @@ def merge_registry_snapshots(
 @dataclass
 class ShardedServeResult(ShardedRunResult):
     """Live-plane aggregate: per-shard results + merged registry +
-    journal-conservation verdicts."""
+    journal-conservation verdicts (+ takeover runs after a failover)."""
 
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     journal: Dict[int, Dict] = field(default_factory=dict)
+    #: Takeover runtimes' results, keyed by the survivor that ran each
+    #: (empty when no shard died).  Folded into every plane aggregate:
+    #: a job that crossed the failover completes *somewhere*, and the
+    #: plane-level SLO math must see it exactly once.
+    takeover: Dict[int, RunResult] = field(default_factory=dict)
+    #: Failover protocol summary: victim, declaration time, fencing
+    #: epoch, recovery-plan partition sizes.
+    failover: Dict = field(default_factory=dict)
+
+    def _results(self) -> List[RunResult]:
+        return list(self.per_shard.values()) + list(self.takeover.values())
 
     @property
     def journal_conserved(self) -> bool:
-        """True when every shard's journal passed conservation (and
+        """True when every journal family passed conservation (and
         vacuously when the run had no journal)."""
         return all(v.get("conserved") for v in self.journal.values())
 
@@ -139,7 +170,222 @@ class ShardedServeResult(ShardedRunResult):
             out["journal_conserved"] = bool(self.journal_conserved)
             out["journal_jobs_admitted"] = sum(
                 v["jobs_admitted"] for v in self.journal.values())
+        if self.failover:
+            out["failover_victim"] = self.failover.get("victim")
+            out["failover_declared_at_ms"] = self.failover.get(
+                "declared_at_ms")
+            out["failover_requeued"] = self.failover.get("requeued")
+            out["failover_expired"] = self.failover.get("expired")
         return out
+
+
+# ----------------------------------------------------------------------
+# failover: heartbeat replay, journal fencing, keyspace takeover
+# ----------------------------------------------------------------------
+
+#: Default model-ms between liveness beats when a kill is scripted and
+#: the caller did not pick a cadence.
+DEFAULT_HEARTBEAT_INTERVAL_MS = 1_000.0
+
+
+def plane_journal_conservation(
+    journal_dir,
+    shards: int,
+    victim: Optional[int] = None,
+) -> Dict[int, Dict]:
+    """Per-journal-family exactly-once verdicts for a sharded plane.
+
+    Job ids are only unique *within* one gateway process (forked
+    children clone the id counter), so conservation is checked per home
+    shard, never across the concatenated plane.  A surviving shard's
+    family is its own WAL; the *victim*'s family is its WAL plus every
+    ``takeover-<victim>-by-*.jsonl`` written for it — the admit lives
+    in the victim's file and exactly one terminal record lands in a
+    survivor's takeover file.
+    """
+    from repro.experiments.robustness import journal_conservation
+    from repro.serve.journal import RequestJournal, journal_basename
+
+    directory = pathlib.Path(journal_dir)
+    verdicts: Dict[int, Dict] = {}
+    for shard_id in range(shards):
+        records = RequestJournal.read_records(
+            directory / journal_basename(shard_id, shards))
+        if shard_id == victim:
+            for path in sorted(
+                    directory.glob(f"takeover-{shard_id}-by-*.jsonl")):
+                records.extend(RequestJournal.read_records(path))
+        verdicts[shard_id] = journal_conservation(records)
+    return verdicts
+
+
+def _declare_from_heartbeats(
+    directory: pathlib.Path,
+    shards: int,
+    victim: int,
+    interval_ms: float,
+    miss_threshold: int,
+    hysteresis: int,
+    registry: MetricsRegistry,
+):
+    """Drive the health monitor over the recorded beats; returns
+    ``(monitor, declare_ms)``.
+
+    The children are gone by the time the parent adjudicates, so the
+    monitor replays the final heartbeat files deterministically: the
+    victim's beats stop at its crash, the survivors' run to their
+    drain.  Observation steps begin where the victim first scores a
+    miss, so the declaration lands ``miss_threshold + hysteresis - 1``
+    intervals after its last beat — the same arithmetic the sim plane's
+    in-loop sweep produces.
+    """
+    import json
+
+    from repro.shard.failover import ShardHealthMonitor, heartbeat_basename
+
+    beats: Dict[int, float] = {}
+    for shard_id in range(shards):
+        try:
+            doc = json.loads(
+                (directory / heartbeat_basename(shard_id)).read_text())
+            beats[shard_id] = float(doc.get("t_ms", 0.0))
+        except (OSError, ValueError):
+            beats[shard_id] = 0.0
+    monitor = ShardHealthMonitor(
+        sorted(beats),
+        interval_ms=interval_ms,
+        miss_threshold=miss_threshold,
+        hysteresis=hysteresis,
+        registry=registry,
+    )
+    for shard_id, beat in beats.items():
+        monitor.record_heartbeat(shard_id, beat)
+    t = beats[victim] + interval_ms * miss_threshold
+    for _ in range(miss_threshold + hysteresis + 4):
+        if victim in monitor.observe(t)["dead"]:
+            return monitor, t
+        t += interval_ms
+    # Unreachable for a silent victim (every step scores a miss), but
+    # never let an adjudication bug hang the takeover.
+    return monitor, t
+
+
+def _fail_over(
+    policy_name: str,
+    mix: WorkloadMix,
+    shards: int,
+    victim: int,
+    ring: ConsistentHashRing,
+    grants: List[int],
+    cluster_spec: ClusterSpec,
+    seed: int,
+    options: ServeOptions,
+    heartbeat_interval_ms: float,
+    miss_threshold: int,
+    hysteresis: int,
+    registry: MetricsRegistry,
+    config_overrides: Dict,
+):
+    """Adjudicate the death and recover the victim's keyspace.
+
+    Runs in the parent after the worker pool exits.  Returns
+    ``(takeover_results, failover_info, registry_snapshots)``.
+    """
+    import os
+
+    import numpy as np
+
+    from repro.core.policies import make_policy_config
+    from repro.serve.journal import (
+        JournalLockedError,
+        RequestJournal,
+        journal_basename,
+    )
+    from repro.serve.recovery import build_recovery_plan
+    from repro.serve.runtime import ServingRuntime
+    from repro.shard.failover import EpochLease, assign_takeover
+
+    directory = pathlib.Path(options.journal_dir)
+    _monitor, declare_ms = _declare_from_heartbeats(
+        directory, shards, victim, heartbeat_interval_ms,
+        miss_threshold, hysteresis, registry,
+    )
+
+    # Orchestrator-side fencing: the takeover instance claims the lease
+    # (the dead holder's pid is gone) and bumps the epoch, so a zombie
+    # primary's late renewals are refused from here on.
+    lease = EpochLease(
+        str(directory / "orchestrator.lease"), registry=registry)
+    lease.acquire(declare_ms)
+
+    # Journal fencing: take the dead shard's WAL lock (an audited steal
+    # — the owner pid is dead) and stamp a takeover marker.  A *live*
+    # owner means the shard is merely slow: refuse, count, and fall
+    # back to read-only replay without the marker.
+    victim_path = directory / journal_basename(victim, shards)
+    fence_taken = False
+    try:
+        fence = RequestJournal(victim_path, registry=registry)
+        fence.append(
+            "takeover", -1, declare_ms,
+            by=os.getpid(), epoch=lease.epoch,
+        )
+        fence.close()
+        fence_taken = True
+    except JournalLockedError:
+        registry.counter("shard_takeover_fence_refused_total").inc()
+
+    records = RequestJournal.read_records(victim_path)
+    slo_by_app = {app.name: app.slo_ms for app in mix.applications}
+    plan = build_recovery_plan(
+        records, declare_ms, lambda name: slo_by_app.get(name))
+    remapped = ring.with_shard_removed(victim)
+    requeues = assign_takeover(plan.requeue, remapped)
+    expireds = assign_takeover(plan.expired, remapped)
+
+    results: Dict[int, RunResult] = {}
+    snapshots: List[List[SnapshotRow]] = []
+    for survivor in sorted(set(requeues) | set(expireds)):
+        runtime = ServingRuntime(
+            config=make_policy_config(policy_name, **config_overrides),
+            mix=mix,
+            cluster_spec=ClusterSpec(
+                n_nodes=grants[survivor],
+                cores_per_node=cluster_spec.cores_per_node,
+                memory_per_node_mb=cluster_spec.memory_per_node_mb,
+            ),
+            # Decorrelated from the survivor's own (dead) child run.
+            seed=_shard_seed(seed, survivor) + 104_729,
+            options=dataclasses.replace(
+                options,
+                shard_id=survivor,
+                n_shards=shards,
+                journal_name=f"takeover-{victim}-by-{survivor}.jsonl",
+                checkpoint_name=(
+                    f"takeover-checkpoint-{victim}-by-{survivor}.json"),
+                clock_start_ms=declare_ms,
+                heartbeat_interval_ms=None,
+                shard_crash_at_ms=None,
+            ),
+        )
+        runtime.recovered_plan = (
+            requeues.get(survivor, []), expireds.get(survivor, []))
+        results[survivor] = runtime.run(ArrivalTrace(
+            np.empty(0), name=f"takeover-{victim}-by-{survivor}"))
+        snapshots.append(snapshot_registry(runtime.registry))
+
+    info = {
+        "victim": victim,
+        "declared_at_ms": float(declare_ms),
+        "fence_taken": fence_taken,
+        "epoch": lease.epoch,
+        "requeued": len(plan.requeue),
+        "expired": len(plan.expired),
+        "deduped": len(plan.deduped),
+        "survivors": sorted(results),
+    }
+    snapshots.append(snapshot_registry(registry))
+    return results, info, snapshots
 
 
 # ----------------------------------------------------------------------
@@ -185,6 +431,11 @@ def serve_sharded(
     options: ServeOptions = ServeOptions(),
     initial_node_grants: Optional[Sequence[int]] = None,
     vnodes: int = DEFAULT_VNODES,
+    kill_shard_at_ms: Optional[float] = None,
+    kill_shard_id: int = 0,
+    heartbeat_interval_ms: Optional[float] = None,
+    heartbeat_miss_threshold: int = 3,
+    failover_hysteresis: int = 2,
     **config_overrides,
 ):
     """Serve *trace* on an N-gateway live plane, one process per shard.
@@ -194,6 +445,15 @@ def serve_sharded(
     The caller's *options* apply to every shard; ``shard_id``/
     ``n_shards`` are stamped per child and must be left at their
     defaults here.
+
+    ``kill_shard_at_ms`` scripts shard ``kill_shard_id``'s death at
+    that model time: its gateway goes permanently dead mid-run, and
+    after the plane drains the parent adjudicates the death from the
+    heartbeat record (``heartbeat_miss_threshold`` misses,
+    ``failover_hysteresis`` consecutive evaluations), fences the dead
+    shard's journal and the orchestrator lease, and replays the WAL so
+    the ring's survivors complete every in-flight job exactly once in
+    takeover runtimes.  Requires ``options.journal_dir``.
     """
     from repro.serve.runtime import serve_trace
 
@@ -203,6 +463,21 @@ def serve_sharded(
         raise ValueError(
             "serve_sharded assigns shard identities itself; pass "
             "options with the default shard_id=0, n_shards=1")
+    if kill_shard_at_ms is not None:
+        if shards == 1:
+            raise ValueError(
+                "shard failover needs shards > 1 (a lone shard has "
+                "no survivor to take its keyspace)")
+        if not options.journal_dir:
+            raise ValueError(
+                "shard failover recovers from the WAL; set "
+                "options.journal_dir")
+        if not 0 <= kill_shard_id < shards:
+            raise ValueError(
+                f"kill_shard_id {kill_shard_id} out of range for "
+                f"{shards} shards")
+        if heartbeat_interval_ms is None:
+            heartbeat_interval_ms = DEFAULT_HEARTBEAT_INTERVAL_MS
     if shards == 1:
         return serve_trace(
             policy_name, mix, trace, cluster_spec=cluster_spec,
@@ -225,6 +500,16 @@ def serve_sharded(
 
     payloads = []
     for (shard_id, sub, _ids), grant in zip(parts, grants):
+        shard_options = dataclasses.replace(
+            options, shard_id=shard_id, n_shards=shards)
+        if kill_shard_at_ms is not None:
+            shard_options = dataclasses.replace(
+                shard_options,
+                heartbeat_interval_ms=heartbeat_interval_ms,
+                shard_crash_at_ms=(
+                    kill_shard_at_ms if shard_id == kill_shard_id
+                    else None),
+            )
         payloads.append({
             "shard_id": shard_id,
             "policy": policy_name,
@@ -236,8 +521,7 @@ def serve_sharded(
                 memory_per_node_mb=cluster_spec.memory_per_node_mb,
             ),
             "seed": _shard_seed(seed, shard_id),
-            "options": dataclasses.replace(
-                options, shard_id=shard_id, n_shards=shards),
+            "options": shard_options,
             "overrides": config_overrides,
         })
 
@@ -249,18 +533,40 @@ def serve_sharded(
     per_shard: Dict[int, RunResult] = {
         o["shard_id"]: o["result"] for o in outcomes
     }
-    merged = merge_registry_snapshots([o["registry"] for o in outcomes])
+    snapshots: List[Optional[List[SnapshotRow]]] = [
+        o["registry"] for o in outcomes
+    ]
+
+    takeover: Dict[int, RunResult] = {}
+    failover_info: Dict = {}
+    if kill_shard_at_ms is not None:
+        failover_registry = MetricsRegistry()
+        takeover, failover_info, extra = _fail_over(
+            policy_name=policy_name,
+            mix=mix,
+            shards=shards,
+            victim=kill_shard_id,
+            ring=ring,
+            grants=grants,
+            cluster_spec=cluster_spec,
+            seed=seed,
+            options=options,
+            heartbeat_interval_ms=heartbeat_interval_ms,
+            miss_threshold=heartbeat_miss_threshold,
+            hysteresis=failover_hysteresis,
+            registry=failover_registry,
+            config_overrides=config_overrides,
+        )
+        snapshots.extend(extra)
+    merged = merge_registry_snapshots(snapshots)
 
     journal: Dict[int, Dict] = {}
     if options.journal_dir:
-        from repro.experiments.robustness import journal_conservation
-        from repro.serve.journal import RequestJournal, journal_basename
-
-        directory = pathlib.Path(options.journal_dir)
-        for shard_id in per_shard:
-            records = RequestJournal.read_records(
-                directory / journal_basename(shard_id, shards))
-            journal[shard_id] = journal_conservation(records)
+        journal = plane_journal_conservation(
+            options.journal_dir, shards,
+            victim=kill_shard_id if kill_shard_at_ms is not None
+            else None,
+        )
 
     return ShardedServeResult(
         per_shard=per_shard,
@@ -268,4 +574,6 @@ def serve_sharded(
         orchestration={"ticks": 0, "rebalances": 0, "nodes_moved": 0},
         registry=merged,
         journal=journal,
+        takeover=takeover,
+        failover=failover_info,
     )

@@ -146,6 +146,8 @@ class GlobalOrchestrator:
             "orchestrator_rebalances_total")
         self._c_moves = self.registry.counter(
             "orchestrator_nodes_moved_total")
+        self._c_tick_errors = self.registry.counter(
+            "orchestrator_tick_errors_total")
         self._g_skew = self.registry.gauge("orchestrator_shard_skew")
 
     # ------------------------------------------------------------------
@@ -168,16 +170,62 @@ class GlobalOrchestrator:
             key=lambda r: r.shard_id,
         )
 
+    def remove_shard(self, shard_id: int) -> None:
+        """Drop a (dead) shard from reconciliation, report and all.
+
+        Failover calls this once the health monitor declares a shard
+        dead: the stale report is deleted from the store so a reconcile
+        racing the takeover never rebalances toward a ghost.
+        """
+        self.shards = [s for s in self.shards if s.shard_id != shard_id]
+        self.store.delete(REPORT_COLLECTION, f"shard-{shard_id}")
+
+    def add_shard(self, handle: ShardHandle) -> None:
+        """Re-admit a recovered shard into reconciliation."""
+        if all(s.shard_id != handle.shard_id for s in self.shards):
+            self.shards.append(handle)
+            self.shards.sort(key=lambda s: s.shard_id)
+
+    def restore_from_store(self) -> Dict[int, float]:
+        """Re-derive per-shard pressure from the published reports.
+
+        The warm-standby path: a fresh orchestrator (no in-memory
+        state) reads back the last reports the failed primary wrote
+        through the sharded store, so its first reconcile starts from
+        the fleet's real pressure picture instead of zeros.
+        """
+        live = {s.shard_id for s in self.shards}
+        return {
+            r.shard_id: r.pressure
+            for r in self._read_reports() if r.shard_id in live
+        }
+
     def reconcile(self, now_ms: float) -> Dict[str, float]:
+        """One orchestration tick, fault-contained.
+
+        A poisoned tick (a shard handle or store raising mid-reconcile)
+        increments ``orchestrator_tick_errors_total`` and skips, rather
+        than killing the control loop — the same containment the
+        per-shard scalers get from ``scaling_tick_errors_total``.
+        """
+        try:
+            return self._reconcile(now_ms)
+        except Exception:
+            self._c_tick_errors.inc()
+            return {"now_ms": now_ms, "error": True}
+
+    def _reconcile(self, now_ms: float) -> Dict[str, float]:
         """One orchestration tick: publish, read back, rebalance, budget.
 
         Returns a summary of what the tick did (for studies/tests).
         """
         self._c_ticks.inc()
         self.publish_reports(now_ms)
-        reports = self._read_reports()
-        by_id = {r.shard_id: r for r in reports}
         handles = {s.shard_id: s for s in self.shards}
+        # A dead shard's last report may still sit in the store between
+        # its declaration and removal; never rebalance against a ghost.
+        reports = [r for r in self._read_reports() if r.shard_id in handles]
+        by_id = {r.shard_id: r for r in reports}
 
         pressures = [r.pressure for r in reports]
         max_p, min_p = max(pressures), min(pressures)

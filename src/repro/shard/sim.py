@@ -31,13 +31,31 @@ partitioned independently of their jobs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.cluster.faults import ShardFaultSchedule
 from repro.metrics.collector import RunResult
 from repro.obs.registry import MetricsRegistry
 from repro.runtime.system import ClusterSpec, ServerlessSystem, run_policy
+from repro.serve.journal import (
+    EV_ADMIT,
+    EV_COMPLETE,
+    EV_FAIL,
+    EV_HOP,
+    JOURNAL_SCHEMA_VERSION,
+    TERMINAL_EVENTS,
+)
+from repro.serve.recovery import (
+    RECOVERY_EXPIRED_REASON,
+    build_recovery_plan,
+)
+from repro.shard.failover import (
+    OrchestratorSupervisor,
+    ShardHealthMonitor,
+    assign_takeover,
+)
 from repro.shard.orchestrator import (
     GlobalOrchestrator,
     ShardHandle,
@@ -48,6 +66,7 @@ from repro.shard.ring import ConsistentHashRing, DEFAULT_VNODES
 from repro.sim.engine import ENGINE_VECTOR, Simulator, resolve_engine
 from repro.sim.process import CoalescedTicker
 from repro.traces.base import ArrivalTrace
+from repro.workflow.job import Job
 from repro.workflow.sharded_store import ShardedStateStore
 from repro.workloads.mixes import WorkloadMix
 
@@ -226,12 +245,53 @@ class _ShardSystem(ServerlessSystem):
         self.cross_shard_hop_ms = DEFAULT_CROSS_SHARD_HOP_MS
         self._route_seq = 0
         self._route_keys: Dict[int, int] = {}
+        # -- failover state (inert unless a fault plane attaches) ------
+        #: The plane driving heartbeats/takeover, or None (exact
+        #: pre-failover behaviour on every code path below).
+        self.failover: Optional["_ShardFaultPlane"] = None
+        self.shard_dead = False
+        #: Global request ids of this shard's arrivals, in trace order
+        #: (the reroute key once this shard is declared dead).
+        self._request_ids: Optional[np.ndarray] = None
+        self._arrival_cursor = 0
+        #: In-memory mirror of the live WAL (serve record schema), so
+        #: takeover replays the identical recovery-plan builder.
+        self._journal_records: List[Dict] = []
+        self._journal_terminal: Set[int] = set()
+        #: Jobs in flight at the crash instant: their zombie completion
+        #: signals are dropped — the takeover owns them now.
+        self._fenced_jobs: Set[int] = set()
+        #: Nodes cordoned by the crash, returned on scripted recovery.
+        self._failover_cordoned: List = []
+
+    def _journal(self, ev: str, job_id: int, t_ms: float, **fields) -> None:
+        """Mirror one WAL record (no-op while dead: a crashed shard's
+        journal stops exactly at the crash instant, like the live one)."""
+        if self.failover is None or self.shard_dead:
+            return
+        record = {
+            "v": JOURNAL_SCHEMA_VERSION,
+            "ev": ev,
+            "job": int(job_id),
+            "t": round(float(t_ms), 3),
+        }
+        record.update(fields)
+        self._journal_records.append(record)
+        if ev in TERMINAL_EVENTS:
+            self._journal_terminal.add(int(job_id))
 
     def _on_arrival(self) -> None:
         self._route_seq += 1
+        if self.failover is not None:
+            self.failover.on_arrival(self)
+            return
         super()._on_arrival()
 
     def _enqueue_stage(self, job, stage_index: int) -> None:
+        if self.failover is not None and stage_index > 0 \
+                and job.job_id not in self._journal_terminal:
+            self._journal(EV_HOP, job.job_id, self.sim.now,
+                          stage=int(stage_index))
         if self.stage_routing == "hash" and self.ring is not None:
             key = self._route_keys.setdefault(
                 job.job_id, (self.shard_id << 32) | self._route_seq
@@ -249,6 +309,309 @@ class _ShardSystem(ServerlessSystem):
                 )
                 return
         super()._enqueue_stage(job, stage_index)
+        if (self.failover is not None
+                and job.failure_reason == "shed-expired"
+                and job.job_id not in self._journal_terminal):
+            self._journal(EV_FAIL, job.job_id, self.sim.now,
+                          reason="shed-expired")
+
+    def _on_task_finished(self, task) -> None:
+        if self.failover is not None \
+                and task.job.job_id in self._fenced_jobs:
+            # Zombie completion from before the crash: the job was
+            # requeued (or expired) by the takeover, so applying this
+            # signal would double-count it.  Mirrors the live gateway's
+            # identity check on pre-crash task objects.
+            self.registry.counter("shard_fenced_completions_total").inc()
+            return
+        super()._on_task_finished(task)
+        if self.failover is not None and task.is_last_stage \
+                and task.job.job_id not in self._journal_terminal:
+            self._journal(EV_COMPLETE, task.job.job_id, self.sim.now)
+
+    def _tick_monitor(self, now_ms: float) -> None:
+        if self.shard_dead:
+            # Dead shard, dead control loop: no scaling, no samples —
+            # and no heartbeats, which is how the plane finds out.
+            self.registry.counter(
+                "control_plane_ticks_skipped_total").inc()
+            return
+        super()._tick_monitor(now_ms)
+
+
+# ----------------------------------------------------------------------
+# scripted shard faults (self-healing mirror of the live plane)
+# ----------------------------------------------------------------------
+
+class _ShardFaultPlane:
+    """Heartbeats, death declaration and keyspace takeover for the sim.
+
+    Attached to every :class:`_ShardSystem` when a
+    :class:`~repro.cluster.faults.ShardFaultSchedule` is in play.  Each
+    reconcile tick doubles as a health-monitor sweep: live shards beat,
+    the :class:`~repro.shard.failover.ShardHealthMonitor` scores the
+    gaps, and a declaration triggers the same takeover the live plane
+    performs — ring remap via ``with_shard_removed``, recovery plan
+    from the dead shard's journal mirror, survivors requeueing under
+    the **original** job ids.  Until the declaration lands, arrivals to
+    the dead shard are shed with a counter (degraded routing); after
+    it, they reroute to the remapped ring owner.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        systems: Dict[int, _ShardSystem],
+        handles: Dict[int, ShardHandle],
+        orchestrators: List[GlobalOrchestrator],
+        ring: ConsistentHashRing,
+        mix: WorkloadMix,
+        interval_ms: float,
+        miss_threshold: int,
+        hysteresis: int,
+        registry: MetricsRegistry,
+    ) -> None:
+        self.sim = sim
+        self.systems = systems
+        self.handles = handles
+        self.orchestrators = orchestrators
+        self.ring = ring
+        self.registry = registry
+        self._slo_by_app = {
+            app.name: app.slo_ms for app in mix.applications
+        }
+        self._apps = {app.name: app for app in mix.applications}
+        self.monitor = ShardHealthMonitor(
+            sorted(systems),
+            interval_ms=interval_ms,
+            miss_threshold=miss_threshold,
+            hysteresis=hysteresis,
+            registry=registry,
+        )
+        for system in systems.values():
+            system.failover = self
+
+    # -- scripted events ----------------------------------------------
+
+    def crash_shard(self, shard_id: int) -> None:
+        """Kill one shard in place (the ``kill`` fault event)."""
+        system = self.systems[shard_id]
+        if system.shard_dead:
+            return
+        # Fence first: everything admitted-but-unfinished at this
+        # instant is lost here and owed exactly once to the takeover.
+        admits = {
+            r["job"] for r in system._journal_records
+            if r["ev"] == EV_ADMIT
+        }
+        system._fenced_jobs = admits - system._journal_terminal
+        system.shard_dead = True
+        purged = 0
+        for pool in system.pools.values():
+            while pool.queue:
+                pool.queue.pop()
+                purged += 1
+            pool._waiting.clear()
+            for slot in pool.containers:
+                if slot.local_queue:
+                    purged += len(slot.local_queue)
+                    slot.local_queue.clear()
+        if purged:
+            system.registry.counter(
+                "control_plane_purged_tasks_total").inc(purged)
+        for node in system.cluster.nodes:
+            if not node.failed:
+                node.fail()
+                system._failover_cordoned.append(node)
+        system.registry.counter("shard_crashes_total").inc()
+
+    def recover_shard(self, shard_id: int) -> None:
+        """Restart one shard (the ``recover`` fault event).
+
+        The process is back and beating; the *plane* re-admits it to
+        the ring only after the monitor's hysteresis clears it.
+        """
+        system = self.systems[shard_id]
+        if not system.shard_dead:
+            return
+        now = self.sim.now
+        system.shard_dead = False
+        for node in system._failover_cordoned:
+            node.recover(now)
+        system._failover_cordoned = []
+        system.registry.counter("shard_restarts_total").inc()
+
+    # -- per-arrival routing ------------------------------------------
+
+    def on_arrival(self, system: _ShardSystem) -> None:
+        now = self.sim.now
+        rid = None
+        if system._request_ids is not None \
+                and system._arrival_cursor < len(system._request_ids):
+            rid = int(system._request_ids[system._arrival_cursor])
+        system._arrival_cursor += 1
+        if system.shard_dead:
+            if system.shard_id in self.monitor.dead and rid is not None:
+                # Declared dead: the remapped ring owns this key now.
+                owner_id = self.ring.shard_for(rid)
+                owner = self.systems.get(owner_id)
+                if owner is not None and not owner.shard_dead:
+                    owner.registry.counter(
+                        "shard_rerouted_arrivals_total").inc()
+                    self._admit(system, owner, now,
+                                extra_latency_ms=owner.cross_shard_hop_ms)
+                    return
+            # Degraded routing: the shard is dead but the takeover is
+            # not yet in effect — shed with a counter, never silently.
+            system.metrics.record_job_created()
+            system.registry.counter("gateway_shed_total").inc()
+            system.registry.counter("gateway_dead_sheds_total").inc()
+            return
+        self._admit(system, system, now)
+
+    def _admit(
+        self,
+        source: _ShardSystem,
+        target: _ShardSystem,
+        now: float,
+        extra_latency_ms: float = 0.0,
+    ) -> None:
+        """Base-system admission plus WAL mirroring.
+
+        *source* supplies the RNG stream (a rerouted arrival keeps the
+        dead shard's draw order, so the workload content is invariant
+        to declaration timing); *target* runs the job.
+        """
+        app = source.mix.sample_application(source._rng_apps)
+        scale = (
+            source.input_scale_sampler(source._rng_apps)
+            if source.input_scale_sampler is not None
+            else 1.0
+        )
+        target.metrics.record_job_created()
+        target.sampler.record(now)
+        if target.shed_expired and target._deadline_expired(app):
+            target.registry.counter("gateway_shed_total").inc()
+            target.registry.counter("gateway_shed_deadline_total").inc()
+            return
+        job = Job(app=app, arrival_ms=now, input_scale=scale)
+        target.store.insert(
+            "jobs", job.job_id, {"app": app.name, "creationTime": now}
+        )
+        target._journal(EV_ADMIT, job.job_id, now,
+                        app=app.name, scale=scale)
+        target.sim.schedule(
+            app.transition_overhead_ms + extra_latency_ms,
+            lambda: target._enqueue_stage(job, 0),
+            label="ingress",
+        )
+
+    # -- health sweep + takeover (own cadence, faster than reconcile) --
+
+    def sweep(self, now_ms: float) -> None:
+        """One heartbeat + health-monitor pass.
+
+        Runs on its own ticker at the heartbeat interval — declaring a
+        death must not wait for the (much coarser) rebalance tick, just
+        as the live monitor adjudicates from per-second beats.
+        """
+        for shard_id, system in self.systems.items():
+            if not system.shard_dead:
+                self.monitor.record_heartbeat(shard_id, now_ms)
+                system.registry.counter("shard_heartbeats_total").inc()
+        transitions = self.monitor.observe(now_ms)
+        for shard_id in transitions["dead"]:
+            self._take_over(shard_id, now_ms)
+        for shard_id in transitions["recovered"]:
+            self._readmit(shard_id, now_ms)
+
+    def _take_over(self, shard_id: int, now_ms: float) -> None:
+        dead = self.systems[shard_id]
+        try:
+            self.ring = self.ring.with_shard_removed(shard_id)
+        except ValueError:
+            # Last shard standing, or already remapped — nowhere to
+            # move the keyspace; record the stall rather than raise.
+            self.registry.counter("shard_takeover_skipped_total").inc()
+            return
+        for orch in self.orchestrators:
+            orch.remove_shard(shard_id)
+        plan = build_recovery_plan(
+            dead._journal_records, now_ms,
+            lambda name: self._slo_by_app.get(name),
+        )
+        for owner_id, entries in sorted(
+                assign_takeover(plan.requeue, self.ring).items()):
+            survivor = self.systems[owner_id]
+            for entry in entries:
+                self._requeue(survivor, entry)
+        for owner_id, entries in sorted(
+                assign_takeover(plan.expired, self.ring).items()):
+            survivor = self.systems[owner_id]
+            for entry in entries:
+                self._expire(survivor, entry, now_ms)
+
+    def _readmit(self, shard_id: int, now_ms: float) -> None:
+        if shard_id not in self.ring.shard_ids:
+            self.ring = self.ring.with_shard_added(shard_id)
+        handle = self.handles.get(shard_id)
+        if handle is not None:
+            for orch in self.orchestrators:
+                orch.add_shard(handle)
+
+    def _requeue(self, survivor: _ShardSystem, entry) -> None:
+        """Resume a dead shard's in-flight job on *survivor*.
+
+        Original id, arrival time and input scale — the SLO clock keeps
+        running across the failover; recovery must not launder latency.
+        Not re-journaled as an admit: the dead shard's admit record
+        stands, and the survivor will write the one terminal record.
+        """
+        app = self._apps.get(entry.app)
+        if app is None:
+            return
+        job = Job(
+            app=app,
+            arrival_ms=entry.arrival_ms,
+            input_scale=entry.input_scale,
+            job_id=entry.job_id,
+        )
+        survivor.registry.counter(
+            "shard_jobs_requeued_on_failover_total").inc()
+        stage = max(0, min(int(entry.last_stage), len(app.stages) - 1))
+        self.sim.schedule(
+            app.transition_overhead_ms + survivor.cross_shard_hop_ms,
+            lambda job=job, stage=stage: survivor._enqueue_stage(
+                job, stage),
+            label="takeover-requeue",
+        )
+
+    def _expire(self, survivor: _ShardSystem, entry, now_ms: float) -> None:
+        app = self._apps.get(entry.app)
+        if app is None:
+            return
+        job = Job(
+            app=app,
+            arrival_ms=entry.arrival_ms,
+            input_scale=entry.input_scale,
+            job_id=entry.job_id,
+        )
+        job.failed_ms = now_ms
+        job.failure_reason = RECOVERY_EXPIRED_REASON
+        survivor.metrics.record_job_failed(job)
+        survivor._journal(EV_FAIL, job.job_id, now_ms,
+                          reason=RECOVERY_EXPIRED_REASON)
+        survivor.registry.counter(
+            "shard_jobs_expired_on_failover_total").inc()
+
+    def journal_conservation(self) -> Dict:
+        """Plane-wide exactly-once verdict over every journal mirror."""
+        from repro.experiments.robustness import journal_conservation
+
+        records: List[Dict] = []
+        for shard_id in sorted(self.systems):
+            records.extend(self.systems[shard_id]._journal_records)
+        return journal_conservation(records)
 
 
 # ----------------------------------------------------------------------
@@ -262,6 +625,14 @@ class ShardedRunResult:
     per_shard: Dict[int, RunResult]
     mode: str                      # "inprocess" | "processes"
     orchestration: Dict = field(default_factory=dict)
+    #: Plane-level metrics (populated by failover-enabled runs; empty
+    #: otherwise so pre-failover constructions are untouched).
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def _results(self) -> List[RunResult]:
+        """Every RunResult folded into the plane aggregates (subclasses
+        may append takeover runs here)."""
+        return list(self.per_shard.values())
 
     @property
     def n_shards(self) -> int:
@@ -269,33 +640,34 @@ class ShardedRunResult:
 
     @property
     def n_jobs(self) -> int:
-        return sum(r.n_jobs for r in self.per_shard.values())
+        return sum(r.n_jobs for r in self._results())
 
     @property
     def n_completed(self) -> int:
-        return sum(r.n_completed for r in self.per_shard.values())
+        return sum(r.n_completed for r in self._results())
 
     @property
     def n_failed(self) -> int:
-        return sum(r.n_failed for r in self.per_shard.values())
+        return sum(r.n_failed for r in self._results())
 
     @property
     def shed_jobs(self) -> int:
-        return sum(r.shed_jobs for r in self.per_shard.values())
+        return sum(r.shed_jobs for r in self._results())
 
     @property
     def violations(self) -> int:
-        return sum(r.violations for r in self.per_shard.values())
+        return sum(r.violations for r in self._results())
 
     @property
     def duration_ms(self) -> float:
-        return max(r.duration_ms for r in self.per_shard.values())
+        return max(r.duration_ms for r in self._results())
 
     @property
     def latencies_ms(self) -> np.ndarray:
+        results = self._results()
         return np.concatenate(
-            [r.latencies_ms for r in self.per_shard.values()]
-        ) if self.per_shard else np.array([])
+            [r.latencies_ms for r in results]
+        ) if results else np.array([])
 
     @property
     def slo_violation_rate(self) -> float:
@@ -429,6 +801,11 @@ def _run_inprocess_eventloop(
     stage_routing: str,
     cross_shard_hop_ms: float,
     ring: ConsistentHashRing,
+    shard_faults: Optional[ShardFaultSchedule] = None,
+    heartbeat_interval_ms: float = 1_000.0,
+    heartbeat_miss_threshold: int = 3,
+    failover_hysteresis: int = 2,
+    orchestrator_fail_at_ms: Optional[float] = None,
     **system_kwargs,
 ) -> ShardedRunResult:
     """N event-loop systems on one Simulator (multi-tenant pattern)."""
@@ -436,11 +813,12 @@ def _run_inprocess_eventloop(
     systems: Dict[int, _ShardSystem] = {}
     monitors = []
     handles = []
+    request_ids: Dict[int, np.ndarray] = {}
     n_nodes = system_kwargs["cluster_spec"].n_nodes
     config = config_factory()
     ticker = CoalescedTicker(
         sim, config.monitor_interval_ms, label="shard-monitor")
-    for (shard_id, sub, _ids), grant in zip(parts, grants):
+    for (shard_id, sub, ids), grant in zip(parts, grants):
         system = _ShardSystem(
             config=config_factory(),
             **dict(system_kwargs, seed=_shard_seed(
@@ -448,6 +826,7 @@ def _run_inprocess_eventloop(
         )
         system.cordoned_node_ids = list(range(grant, n_nodes))
         systems[shard_id] = system
+        request_ids[shard_id] = ids
         monitors.append(system.attach(sim, sub, ticker=ticker))
     for shard_id, system in systems.items():
         system.shard_id = shard_id
@@ -460,18 +839,70 @@ def _run_inprocess_eventloop(
     orch_registry = MetricsRegistry()
     orchestrator = GlobalOrchestrator(
         handles, registry=orch_registry, **orchestrator_args)
+    reconciler = orchestrator
+    orchestrators = [orchestrator]
+    if orchestrator_fail_at_ms is not None:
+        # Warm standby sharing the primary's store: on failover it
+        # re-derives shard pressure from the published reports.
+        standby = GlobalOrchestrator(
+            handles, registry=orch_registry,
+            **dict(orchestrator_args, store=orchestrator.store))
+        reconciler = OrchestratorSupervisor(
+            orchestrator, standby,
+            fail_primary_at_ms=orchestrator_fail_at_ms,
+            registry=orch_registry,
+        )
+        orchestrators = [orchestrator, standby]
     rebalance = rebalance_interval_ms or config.monitor_interval_ms
     if orchestrator.global_max_surge > 0:
         shares = divide_surge_budget(
             orchestrator.global_max_surge, [1.0] * len(handles))
         for handle, share in zip(handles, shares):
             handle.set_surge_budget(share)
+
+    plane: Optional[_ShardFaultPlane] = None
+    plane_sub = None
+    tick_fn = reconciler.reconcile
+    if shard_faults is not None:
+        plane = _ShardFaultPlane(
+            sim=sim,
+            systems=systems,
+            handles={h.shard_id: h for h in handles},
+            orchestrators=orchestrators,
+            ring=ring,
+            mix=system_kwargs["mix"],
+            interval_ms=heartbeat_interval_ms,
+            miss_threshold=heartbeat_miss_threshold,
+            hysteresis=failover_hysteresis,
+            registry=orch_registry,
+        )
+        for shard_id, system in systems.items():
+            system._request_ids = request_ids[shard_id]
+        for event in shard_faults.events:
+            for sid in event.shard_ids:
+                if event.action == "kill":
+                    sim.schedule_at(
+                        event.at_ms,
+                        lambda s=sid: plane.crash_shard(s),
+                        label="shard-kill",
+                    )
+                else:
+                    sim.schedule_at(
+                        event.at_ms,
+                        lambda s=sid: plane.recover_shard(s),
+                        label="shard-recover",
+                    )
+        # The health sweep gets its own (fine) cadence: death must be
+        # declared within heartbeat intervals, not rebalance intervals.
+        plane_sub = CoalescedTicker(
+            sim, heartbeat_interval_ms, label="shard-health"
+        ).add(plane.sweep)
     if rebalance == ticker.interval:
-        orch_sub = ticker.add(orchestrator.reconcile)
+        orch_sub = ticker.add(tick_fn)
     else:
         orch_sub = CoalescedTicker(
             sim, rebalance, label="orchestrator"
-        ).add(orchestrator.reconcile)
+        ).add(tick_fn)
 
     def settled() -> bool:
         # Global drain condition: with hash stage routing a job may
@@ -495,6 +926,8 @@ def _run_inprocess_eventloop(
     for monitor in monitors:
         monitor.stop()
     orch_sub.stop()
+    if plane_sub is not None:
+        plane_sub.stop()
     result = ShardedRunResult(
         per_shard={s: sys_.finalize() for s, sys_ in systems.items()},
         mode="inprocess",
@@ -504,6 +937,29 @@ def _run_inprocess_eventloop(
         s.registry.value("shard_cross_stage_hops_total")
         for s in systems.values()
     ))
+    if plane is not None or orchestrator_fail_at_ms is not None:
+        # Failover runs expose the plane-level picture: merged metrics
+        # (every shard + the orchestration/health registry) and the
+        # exactly-once journal verdict across the takeover.
+        from repro.shard.live import (
+            merge_registry_snapshots,
+            snapshot_registry,
+        )
+
+        snapshots = [
+            snapshot_registry(s.registry)
+            for _, s in sorted(systems.items())
+        ]
+        snapshots.append(snapshot_registry(orch_registry))
+        result.registry = merge_registry_snapshots(snapshots)
+        result.orchestration["orchestrator_failovers"] = int(
+            orch_registry.value("orchestrator_failovers_total"))
+    if plane is not None:
+        result.orchestration["failovers"] = int(
+            orch_registry.value("shard_failovers_total"))
+        result.orchestration["shard_recoveries"] = int(
+            orch_registry.value("shard_recoveries_total"))
+        result.orchestration["journal"] = plane.journal_conservation()
     return result
 
 
@@ -599,12 +1055,27 @@ def run_sharded_policy(
     skew_threshold: float = 2.0,
     max_moves_per_tick: int = 1,
     store: Optional[ShardedStateStore] = None,
+    shard_faults: Optional[ShardFaultSchedule] = None,
+    heartbeat_interval_ms: float = 1_000.0,
+    heartbeat_miss_threshold: int = 3,
+    failover_hysteresis: int = 2,
+    orchestrator_fail_at_ms: Optional[float] = None,
     **config_overrides,
 ):
     """Run *policy_name* over *trace* on an N-shard serving plane.
 
     Returns a plain :class:`RunResult` for ``shards=1`` (the exact
     single-gateway path) and a :class:`ShardedRunResult` otherwise.
+
+    ``shard_faults`` scripts shard kills/recoveries
+    (:class:`~repro.cluster.faults.ShardFaultSchedule`); the plane then
+    runs the self-healing protocol — heartbeat health monitoring with
+    ``heartbeat_miss_threshold`` misses and ``failover_hysteresis``
+    consecutive evaluations before any declaration, ring remap, and
+    journal-driven keyspace takeover.  ``orchestrator_fail_at_ms``
+    additionally kills the global orchestrator at that instant and
+    fails over to a warm standby restored from the sharded store.
+    Both require the in-process event-loop plane.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
@@ -612,6 +1083,38 @@ def run_sharded_policy(
         raise ValueError(
             f"stage_routing must be 'local' or 'hash', "
             f"got {stage_routing!r}")
+    if heartbeat_interval_ms <= 0:
+        raise ValueError("heartbeat_interval_ms must be positive")
+    failover_requested = (
+        shard_faults is not None or orchestrator_fail_at_ms is not None
+    )
+    if failover_requested:
+        if shards == 1:
+            raise ValueError(
+                "shard failover needs shards > 1 (a lone shard has "
+                "no survivor to take its keyspace)")
+        if shard_workers > 1:
+            raise ValueError(
+                "shard faults need the in-process plane "
+                "(shard_workers=1): isolated processes cannot run "
+                "the takeover protocol")
+        if resolve_engine(engine, fast_path) == ENGINE_VECTOR:
+            raise ValueError(
+                "shard faults are an event-loop feature; "
+                "use engine='fast'")
+        if stage_routing == "hash":
+            raise ValueError(
+                "shard faults with hash stage routing are unsupported: "
+                "a job's stages would outlive its journal owner")
+    if shard_faults is not None:
+        bad = {
+            s for ev in shard_faults.events for s in ev.shard_ids
+            if not 0 <= s < shards
+        }
+        if bad:
+            raise ValueError(
+                f"shard fault schedule targets unknown shards "
+                f"{sorted(bad)} (plane has {shards})")
     if shards == 1:
         return run_policy(
             policy_name, mix, trace,
@@ -670,5 +1173,10 @@ def run_sharded_policy(
     return _run_inprocess_eventloop(
         config_factory, parts, grants, trace, orchestrator_args,
         rebalance_interval_ms, stage_routing, cross_shard_hop_ms, ring,
+        shard_faults=shard_faults,
+        heartbeat_interval_ms=heartbeat_interval_ms,
+        heartbeat_miss_threshold=heartbeat_miss_threshold,
+        failover_hysteresis=failover_hysteresis,
+        orchestrator_fail_at_ms=orchestrator_fail_at_ms,
         **system_kwargs,
     )

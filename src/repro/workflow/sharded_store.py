@@ -52,6 +52,9 @@ class ShardedStateStore:
     def update(self, collection: str, key: Any, fields: Dict[str, Any]) -> float:
         return self._shard_for(key).update(collection, key, fields)
 
+    def delete(self, collection: str, key: Any) -> float:
+        return self._shard_for(key).delete(collection, key)
+
     def get(self, collection: str, key: Any) -> Optional[Dict[str, Any]]:
         return self._shard_for(key).get(collection, key)
 

@@ -65,6 +65,12 @@ class StateStore:
         self.collection(collection).setdefault(key, {}).update(fields)
         return self._access()
 
+    def delete(self, collection: str, key: Any) -> float:
+        """Remove a document if present; returns the simulated latency."""
+        self.writes += 1
+        self.collection(collection).pop(key, None)
+        return self._access()
+
     def get(self, collection: str, key: Any) -> Optional[Dict[str, Any]]:
         self.reads += 1
         self._access()

@@ -3,14 +3,16 @@
 Same policy, mix, trace and seed through both worlds.  The replayer
 draws applications from the same seeded stream as the simulator, so the
 offered workload is bit-identical; what differs is only the clock (the
-live run compresses time 20x) and real scheduling jitter.  Tolerances
+live run compresses time 10x) and real scheduling jitter.  Tolerances
 (documented in EXPERIMENTS.md §live-serving):
 
 * job count — exactly equal (deterministic replay),
 * SLO-violation rate — within 0.10 absolute,
 * peak concurrent containers — within 2,
 * median latency — live may exceed sim by at most 250 model ms
-  (event-loop jitter is amplified 20x by the compressed clock).
+  (event-loop jitter is amplified 10x by the compressed clock; at the
+  previous 20x compression a 15 ms wall hiccup already read as 300
+  model ms and the bound was a coin flip on a loaded host).
 """
 
 import pytest
@@ -31,7 +33,7 @@ MIX = "medium"
 RATE_RPS = 15.0
 DURATION_S = 30.0
 SEED = 0
-TIME_SCALE = 0.05  # 30 model seconds in 1.5 wall seconds
+TIME_SCALE = 0.1  # 30 model seconds in 3 wall seconds
 
 SLO_TOLERANCE = 0.10
 PEAK_TOLERANCE = 2
